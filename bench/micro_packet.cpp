@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the packet-processing primitives:
+// header codecs, the P4CE ingress/egress transformations, Tofino register
+// actions, and the event-queue kernel. These quantify the per-packet cost
+// of the simulation substrate itself.
+#include <benchmark/benchmark.h>
+
+#include "net/packet.hpp"
+#include "p4ce/dataplane.hpp"
+#include "sim/simulator.hpp"
+#include "switchsim/register.hpp"
+
+using namespace p4ce;
+
+namespace {
+
+net::Packet make_write_packet() {
+  net::Packet p;
+  p.ip.src = net::make_ip(0, 10);
+  p.ip.dst = net::make_ip(1, 1);
+  p.bth.opcode = rdma::Opcode::kWriteOnly;
+  p.bth.dest_qp = 0x8000;
+  p.bth.psn = 42;
+  p.reth = rdma::Reth{0x100, 0x1234, 64};
+  p.payload.assign(64, 0xab);
+  return p;
+}
+
+p4::GroupSpec make_spec(u32 replicas) {
+  p4::GroupSpec spec;
+  spec.group_idx = 0;
+  spec.mcast_group_id = 100;
+  spec.bcast_qpn = 0x8000;
+  spec.aggr_qpn = 0xc000;
+  spec.f_needed = (replicas + 1) / 2;
+  spec.virtual_rkey = 0x1234;
+  spec.leader = {net::make_ip(0, 10), 0xEE, 0x111, 0};
+  for (u32 r = 0; r < replicas; ++r) {
+    p4::ConnectionEntry conn;
+    conn.ip = net::make_ip(0, static_cast<u8>(11 + r));
+    conn.qpn = 0x200 + r;
+    conn.port = 1 + r;
+    conn.vaddr = 0x7000'0000 + r * 0x1000;
+    conn.buffer_len = 1 << 20;
+    conn.rkey = 0x5000 + r;
+    spec.replicas.push_back(conn);
+  }
+  return spec;
+}
+
+void BM_PacketEncode(benchmark::State& state) {
+  const net::Packet p = make_write_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.encode());
+  }
+}
+BENCHMARK(BM_PacketEncode);
+
+void BM_PacketDecode(benchmark::State& state) {
+  const Bytes bytes = make_write_packet().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Packet::decode(bytes));
+  }
+}
+BENCHMARK(BM_PacketDecode);
+
+void BM_IngressScatterClassify(benchmark::State& state) {
+  p4::P4ceDataplane dataplane(net::make_ip(1, 1));
+  std::ignore = dataplane.install_group(make_spec(4));
+  for (auto _ : state) {
+    sw::PacketContext ctx;
+    ctx.packet = make_write_packet();
+    dataplane.ingress(ctx);
+    benchmark::DoNotOptimize(ctx.mcast_group);
+  }
+}
+BENCHMARK(BM_IngressScatterClassify);
+
+void BM_EgressRewrite(benchmark::State& state) {
+  p4::P4ceDataplane dataplane(net::make_ip(1, 1));
+  std::ignore = dataplane.install_group(make_spec(4));
+  sw::PacketContext proto;
+  proto.packet = make_write_packet();
+  dataplane.ingress(proto);
+  for (auto _ : state) {
+    sw::PacketContext ctx = proto;
+    ctx.replication_id = 2;
+    ctx.egress_port = 3;
+    dataplane.egress(ctx);
+    benchmark::DoNotOptimize(ctx.packet.bth.dest_qp);
+  }
+}
+BENCHMARK(BM_EgressRewrite);
+
+void BM_GatherAck(benchmark::State& state) {
+  p4::P4ceDataplane dataplane(net::make_ip(1, 1));
+  std::ignore = dataplane.install_group(make_spec(4));
+  u32 psn = 0;
+  for (auto _ : state) {
+    sw::PacketContext ctx;
+    ctx.packet.ip.src = net::make_ip(0, 11);
+    ctx.packet.ip.dst = net::make_ip(1, 1);
+    ctx.packet.bth.opcode = rdma::Opcode::kAcknowledge;
+    ctx.packet.bth.dest_qp = 0xc000;
+    ctx.packet.bth.psn = psn++ & kPsnMask;
+    ctx.packet.aeth = rdma::Aeth{.is_nak = false,
+                                 .nak_code = rdma::NakCode::kPsnSequenceError,
+                                 .credits = 12,
+                                 .msn = 0};
+    dataplane.ingress(ctx);
+    benchmark::DoNotOptimize(ctx.drop);
+  }
+}
+BENCHMARK(BM_GatherAck);
+
+void BM_TofinoMin(benchmark::State& state) {
+  u32 a = 17, b = 23;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw::tofino_min(a, b));
+    a = (a * 1103515245u + 12345u) & 0x1f;
+    b = (b * 22695477u + 1u) & 0x1f;
+  }
+}
+BENCHMARK(BM_TofinoMin);
+
+void BM_RegisterIncrementRead(benchmark::State& state) {
+  sw::TofinoRegister<u32> reg(256);
+  u32 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.increment_read(i++ & 0xff));
+  }
+}
+BENCHMARK(BM_RegisterIncrementRead);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_EventQueue);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// A replicated key-value store built on the public API: every node applies
+// the committed log to its own std::map, giving a crash-tolerant KV service
+// (the paper's motivating use case for microsecond-scale replication).
+//
+// Runs a read-mostly mixed workload against the leader, then proves that
+// all replicas converged to the same state.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/group.hpp"
+
+using namespace p4ce;
+
+namespace {
+
+// Commands are serialized into log entries: [op u8][klen u16][key][value].
+enum class Op : u8 { kPut = 1, kDel = 2 };
+
+Bytes encode_command(Op op, std::string_view key, std::string_view value = {}) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8be(static_cast<u8>(op));
+  w.u16be(static_cast<u16>(key.size()));
+  w.raw(to_bytes(key));
+  w.raw(to_bytes(value));
+  return out;
+}
+
+/// The state machine each node runs over the committed log.
+struct KvStateMachine {
+  std::map<std::string, std::string> data;
+  u64 applied = 0;
+
+  void apply(const consensus::LogEntry& entry) {
+    ByteReader r(entry.payload);
+    const Op op = static_cast<Op>(r.u8be());
+    const u16 klen = r.u16be();
+    const Bytes key_bytes = r.raw(klen);
+    std::string key(key_bytes.begin(), key_bytes.end());
+    if (op == Op::kPut) {
+      const Bytes value = r.raw(r.remaining());
+      data[key] = std::string(value.begin(), value.end());
+    } else {
+      data.erase(key);
+    }
+    ++applied;
+  }
+
+  u64 checksum() const {
+    u64 h = 1469598103934665603ull;
+    for (const auto& [k, v] : data) {
+      for (char c : k + "=" + v) h = (h ^ static_cast<u8>(c)) * 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+int main() {
+  core::ClusterOptions options;
+  options.machines = 5;  // tolerate two replica failures
+  options.mode = consensus::Mode::kP4ce;
+
+  core::ReplicationGroup group(options);
+  if (!group.start()) return 1;
+  std::printf("kv_store: 5-machine group up, leader=node %u, accelerated=%s\n",
+              group.leader()->id(), group.leader()->accelerated() ? "yes" : "no");
+
+  std::vector<KvStateMachine> machines(5);
+  group.on_deliver([&](NodeId node, const consensus::LogEntry& entry) {
+    machines[node].apply(entry);
+  });
+
+  // Mixed workload: 10k writes over a keyspace of 1k keys, 10% deletes.
+  // (Reads are served locally from any replica's state machine and never
+  // touch the log — that's the point of SMR.)
+  Rng rng(2024);
+  const int kOps = 10'000;
+  u64 committed = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "user" + std::to_string(rng.next_below(1000));
+    Bytes command = rng.next_bool(0.1)
+                        ? encode_command(Op::kDel, key)
+                        : encode_command(Op::kPut, key, "value-" + std::to_string(i));
+    std::ignore = group.propose(std::move(command), [&](Status st, u64) {
+      committed += st.is_ok();
+    });
+    // Pace the generator every few ops so the window never overruns.
+    if (i % 8 == 7) group.run_for(microseconds(4));
+  }
+  group.run_until_idle();
+
+  std::printf("committed %llu/%d updates in %.2f ms of simulated time\n",
+              static_cast<unsigned long long>(committed), kOps, to_millis(group.now()));
+
+  // Every replica must hold the identical state.
+  bool consistent = true;
+  for (u32 i = 0; i < 5; ++i) {
+    std::printf("  node %u: applied=%llu keys=%zu checksum=%016llx\n", i,
+                static_cast<unsigned long long>(machines[i].applied), machines[i].data.size(),
+                static_cast<unsigned long long>(machines[i].checksum()));
+    consistent &= machines[i].checksum() == machines[0].checksum();
+    consistent &= machines[i].applied == static_cast<u64>(kOps);
+  }
+  // A read served from a replica:
+  const auto it = machines[2].data.find("user42");
+  if (it != machines[2].data.end()) {
+    std::printf("read from replica 2: user42 -> %s\n", it->second.c_str());
+  }
+  std::printf(consistent ? "all replicas consistent \\o/\n" : "INCONSISTENT STATE\n");
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Multi-tenant tour (§IV-A: "P4CE supports multiple consensus groups in
+// parallel"): three independent replication domains — say, three services of
+// a datacenter rack — share one programmable switch. Each gets its own
+// BCast/Aggr queue pairs, multicast group and registers; a failure in one
+// domain leaves the others untouched.
+#include <cstdio>
+
+#include "core/cluster.hpp"
+
+using namespace p4ce;
+
+int main() {
+  core::ClusterOptions options;
+  options.machines = 3;  // per domain
+  options.domains = 3;   // 9 machines total, one switch
+  options.mode = consensus::Mode::kP4ce;
+
+  auto cluster = core::Cluster::create(options);
+  if (!cluster->start()) return 1;
+
+  std::printf("three tenants on one switch (%zu groups installed):\n",
+              cluster->control_plane().active_groups());
+  const char* tenants[] = {"orders", "payments", "sessions"};
+  for (u32 d = 0; d < 3; ++d) {
+    std::printf("  %-9s -> leader node %u, accelerated=%s\n", tenants[d],
+                cluster->leader(d)->id(), cluster->leader(d)->accelerated() ? "yes" : "no");
+  }
+
+  // Each tenant replicates its own traffic concurrently.
+  u64 committed[3] = {};
+  for (int round = 0; round < 200; ++round) {
+    for (u32 d = 0; d < 3; ++d) {
+      consensus::Node* leader = cluster->leader(d);
+      if (leader == nullptr) continue;
+      std::ignore = leader->propose(Bytes(128, static_cast<u8>(d)),
+                                    [&committed, d](Status st, u64) {
+                                      committed[d] += st.is_ok();
+                                    });
+    }
+    cluster->run_for(microseconds(5));
+  }
+  cluster->run_for(milliseconds(2));
+  for (u32 d = 0; d < 3; ++d) {
+    const auto& stats = cluster->dataplane().group_stats(static_cast<u16>(d));
+    std::printf("%-9s: %llu commits, switch scattered %llu / forwarded %llu ACKs\n",
+                tenants[d], static_cast<unsigned long long>(committed[d]),
+                static_cast<unsigned long long>(stats.requests_scattered),
+                static_cast<unsigned long long>(stats.acks_forwarded));
+  }
+
+  // Kill one tenant's leader: the other tenants never notice.
+  std::printf("\nkilling the 'payments' leader (node 3)...\n");
+  cluster->crash_node(3);
+  const SimTime deadline = cluster->now() + milliseconds(300);
+  while (cluster->leader(1) == nullptr && cluster->now() < deadline) {
+    cluster->run_for(milliseconds(1));
+  }
+  std::printf("payments re-elected node %u (term %llu); orders still node %u at term %llu\n",
+              cluster->leader(1) ? cluster->leader(1)->id() : 0,
+              cluster->leader(1)
+                  ? static_cast<unsigned long long>(cluster->leader(1)->term())
+                  : 0ull,
+              cluster->leader(0)->id(),
+              static_cast<unsigned long long>(cluster->leader(0)->term()));
+  bool ok = cluster->leader(1) != nullptr && cluster->leader(0)->term() == 1;
+  std::printf(ok ? "fault contained to its domain \\o/\n" : "UNEXPECTED cross-domain impact\n");
+  return ok ? 0 : 1;
+}

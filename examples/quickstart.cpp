@@ -1,0 +1,49 @@
+// Quickstart: a three-machine P4CE replication group in ~40 lines.
+//
+//   $ ./examples/quickstart
+//
+// Builds a simulated cluster (leader + 2 replicas + Tofino-modeled switch),
+// proposes a few values through the in-network-accelerated path, and shows
+// them being delivered on every machine.
+#include <cstdio>
+
+#include "core/group.hpp"
+
+using namespace p4ce;
+
+int main() {
+  core::ClusterOptions options;
+  options.machines = 3;                       // 1 leader + 2 replicas
+  options.mode = consensus::Mode::kP4ce;      // in-network scatter/gather
+
+  core::ReplicationGroup group(options);
+  if (!group.start()) {
+    std::fprintf(stderr, "no leader elected\n");
+    return 1;
+  }
+  std::printf("leader: node %u (accelerated: %s) after %.1f ms of simulated time\n",
+              group.leader()->id(), group.leader()->accelerated() ? "yes" : "no",
+              to_millis(group.now()));
+
+  group.on_deliver([](NodeId node, const consensus::LogEntry& entry) {
+    std::printf("  node %u applied seq=%llu: %.*s\n", node,
+                static_cast<unsigned long long>(entry.seq),
+                static_cast<int>(entry.payload.size()),
+                reinterpret_cast<const char*>(entry.payload.data()));
+  });
+
+  for (const char* command : {"put name=p4ce", "put venue=icdcs24", "del draft"}) {
+    const Status st = group.propose(command, [command](Status status, u64 seq) {
+      std::printf("committed '%s' as seq %llu: %s\n", command,
+                  static_cast<unsigned long long>(seq), status.to_string().c_str());
+    });
+    if (!st.is_ok()) std::fprintf(stderr, "propose failed: %s\n", st.to_string().c_str());
+  }
+
+  group.run_until_idle();
+  std::printf("done: %llu proposed, %llu committed, %llu failed\n",
+              static_cast<unsigned long long>(group.proposals()),
+              static_cast<unsigned long long>(group.committed()),
+              static_cast<unsigned long long>(group.failed()));
+  return group.committed() == 3 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+
+namespace p4ce {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+constexpr const char* level_name(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, SimTime now, std::string_view component, const std::string& message) {
+  std::fprintf(stderr, "[%12.3f us] %s %.*s: %s\n", to_micros(now), level_name(level),
+               static_cast<int>(component.size()), component.data(), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace p4ce

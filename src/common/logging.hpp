@@ -1,0 +1,30 @@
+// Minimal leveled logging. Simulation components log with the current
+// simulated timestamp so traces are reproducible and diffable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace p4ce {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log threshold; default Warn so tests and benches stay quiet.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, SimTime now, std::string_view component, const std::string& message);
+}  // namespace detail
+
+/// Log `message` attributed to `component` at simulated time `now`.
+inline void log(LogLevel level, SimTime now, std::string_view component, const std::string& message) {
+  if (level >= log_level() && log_level() != LogLevel::kOff) {
+    detail::log_line(level, now, component, message);
+  }
+}
+
+}  // namespace p4ce

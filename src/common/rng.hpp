@@ -1,0 +1,67 @@
+// Deterministic, fast random number generation for the simulator and
+// workload generators. xoshiro256** — small state, excellent statistical
+// quality, fully reproducible across platforms (unlike std::mt19937
+// distributions, whose outputs are implementation-defined for doubles).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace p4ce {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) noexcept { reseed(seed); }
+
+  void reseed(u64 seed) noexcept {
+    // SplitMix64 to spread the seed across the state.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      u64 z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  u32 next_u32() noexcept { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) noexcept {
+    // Lemire's multiply-shift rejection-free-ish reduction (bias negligible
+    // for simulation purposes at our bounds).
+    return static_cast<u64>((static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Exponentially distributed value with the given mean (for Poisson arrivals).
+  double next_exponential(double mean) noexcept {
+    double u;
+    do { u = next_double(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  bool next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4] = {};
+};
+
+}  // namespace p4ce

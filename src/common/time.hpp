@@ -1,0 +1,42 @@
+// Simulated-time types. All simulation time is kept in integer nanoseconds to
+// stay exact and deterministic; helpers provide readable literals.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace p4ce {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+constexpr Duration nanoseconds(std::int64_t v) noexcept { return v; }
+constexpr Duration microseconds(std::int64_t v) noexcept { return v * 1'000; }
+constexpr Duration milliseconds(std::int64_t v) noexcept { return v * 1'000'000; }
+constexpr Duration seconds(std::int64_t v) noexcept { return v * 1'000'000'000; }
+
+constexpr double to_seconds(Duration d) noexcept { return static_cast<double>(d) * 1e-9; }
+constexpr double to_micros(Duration d) noexcept { return static_cast<double>(d) * 1e-3; }
+constexpr double to_millis(Duration d) noexcept { return static_cast<double>(d) * 1e-6; }
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return static_cast<Duration>(v); }
+constexpr Duration operator""_us(unsigned long long v) { return microseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return milliseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return seconds(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+/// Time needed to serialize `bytes` onto a link of `gbps` gigabits per second,
+/// rounded up to whole nanoseconds so back-to-back packets never overlap.
+constexpr Duration serialization_delay(std::uint64_t bytes, double gbps) noexcept {
+  const double ns = static_cast<double>(bytes) * 8.0 / gbps;
+  const auto whole = static_cast<Duration>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+}  // namespace p4ce

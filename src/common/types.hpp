@@ -1,0 +1,49 @@
+// Fundamental integer aliases and identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace p4ce {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Identifies a machine participating in the consensus protocol.
+/// The paper's election rule is "leader = live machine with the lowest id".
+using NodeId = u32;
+
+/// Invalid/unassigned node id.
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// IPv4 address in host byte order.
+using Ipv4Addr = u32;
+
+/// Queue pair number (24-bit on the wire).
+using Qpn = u32;
+
+/// Packet sequence number (24-bit on the wire, arithmetic is mod 2^24).
+using Psn = u32;
+
+inline constexpr u32 kPsnMask = 0x00ffffffu;
+
+/// Increment a PSN with 24-bit wraparound.
+constexpr Psn psn_add(Psn p, u32 delta) noexcept { return (p + delta) & kPsnMask; }
+
+/// Signed distance from `a` to `b` in 24-bit PSN space (positive if b is ahead).
+constexpr i32 psn_distance(Psn a, Psn b) noexcept {
+  i32 d = static_cast<i32>((b - a) & kPsnMask);
+  if (d > static_cast<i32>(kPsnMask / 2)) d -= static_cast<i32>(kPsnMask + 1);
+  return d;
+}
+
+/// Remote access key protecting an RDMA memory region.
+using RKey = u32;
+
+}  // namespace p4ce

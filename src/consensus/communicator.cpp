@@ -1,0 +1,409 @@
+#include "consensus/communicator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace p4ce::consensus {
+
+// ---------------------------------------------------------------------------
+// CommitSequencer
+// ---------------------------------------------------------------------------
+
+void CommitSequencer::expect(u64 seq, DoneFn done) {
+  ops_.emplace(seq, Op{std::move(done), false, Status::ok()});
+}
+
+void CommitSequencer::mark_ready(u64 seq, Status status) {
+  auto it = ops_.find(seq);
+  if (it == ops_.end()) return;
+  it->second.ready = true;
+  it->second.status = std::move(status);
+  drain();
+}
+
+void CommitSequencer::drain() {
+  while (!ops_.empty()) {
+    auto it = ops_.begin();
+    if (it->first != next_ || !it->second.ready) break;
+    Op op = std::move(it->second);
+    ops_.erase(it);
+    ++next_;
+    op.done(std::move(op.status));
+  }
+}
+
+void CommitSequencer::flush_all(Status status) {
+  // Deliver failures in order; callbacks may re-enter, so detach first.
+  auto ops = std::move(ops_);
+  ops_.clear();
+  for (auto& [seq, op] : ops) {
+    next_ = std::max(next_, seq + 1);
+    op.done(status);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MuCommunicator
+// ---------------------------------------------------------------------------
+
+MuCommunicator::MuCommunicator(sim::Simulator& sim, sim::CpuExecutor& cpu,
+                               const Calibration& cal, u32 f_needed,
+                               std::vector<ReplicaTarget> targets)
+    : sim_(sim), cpu_(cpu), cal_(cal), f_needed_(f_needed), targets_(std::move(targets)) {
+  wire_completions();
+}
+
+void MuCommunicator::wire_completions() {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].cq == nullptr) continue;
+    targets_[i].cq->set_callback(
+        [this, i](const rdma::Completion& c) { on_completion(i, c); });
+  }
+}
+
+void MuCommunicator::reset_targets(std::vector<ReplicaTarget> targets) {
+  targets_ = std::move(targets);
+  wire_completions();
+}
+
+u64 MuCommunicator::live_target_count() const noexcept {
+  u64 n = 0;
+  for (const auto& t : targets_) n += t.excluded ? 0 : 1;
+  return n;
+}
+
+void MuCommunicator::replicate(u64 offset, Bytes entry, u64 seq, DoneFn done) {
+  sequencer_.expect(seq, std::move(done));
+  pending_.emplace(seq, Pending{});
+  if (live_target_count() < f_needed_) {
+    pending_.erase(seq);
+    sequencer_.mark_ready(seq, error(StatusCode::kUnavailable, "quorum of replicas lost"));
+    return;
+  }
+  // The leader posts one write per replica; each post costs CPU time — this
+  // serialization is exactly why "the leader divides its own network
+  // capacity by the number of replicas" also costs it CPU (§I, §V-C).
+  // Targets are addressed by index: reset_targets() may replace the vector
+  // while these posts sit in the CPU queue.
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].excluded || targets_[i].qp == nullptr) continue;
+    cpu_.execute(cal_.cpu_post_wr, [this, i, offset, entry, seq] {
+      if (i >= targets_.size()) return;
+      ReplicaTarget& target = targets_[i];
+      if (target.excluded || target.qp == nullptr) return;
+      const Status st =
+          target.qp->post_write(seq, entry, target.log_vaddr + offset, target.log_rkey);
+      if (!st.is_ok()) {
+        target.excluded = true;
+        fail_if_quorum_lost();
+      }
+    });
+  }
+}
+
+void MuCommunicator::on_completion(std::size_t target_index, const rdma::Completion& c) {
+  ReplicaTarget& target = targets_[target_index];
+  if (c.status != rdma::WcStatus::kSuccess) {
+    // This replica's connection is broken (crash / revoked permission).
+    if (!target.excluded) {
+      target.excluded = true;
+      fail_if_quorum_lost();
+    }
+    return;
+  }
+  // Aggregating the replicas' ACKs on the leader CPU: the work the P4CE
+  // switch absorbs in-network.
+  cpu_.execute(cal_.cpu_completion + cal_.cpu_mu_track, [this, seq = c.wr_id] {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    if (++it->second.acks >= f_needed_ && !it->second.resolved) {
+      it->second.resolved = true;
+      sequencer_.mark_ready(seq, Status::ok());
+    }
+    if (it->second.acks >= live_target_count()) pending_.erase(it);
+  });
+}
+
+void MuCommunicator::fail_if_quorum_lost() {
+  if (live_target_count() >= f_needed_) return;
+  for (auto& [seq, op] : pending_) {
+    if (!op.resolved) {
+      op.resolved = true;
+      sequencer_.mark_ready(seq, error(StatusCode::kUnavailable, "quorum of replicas lost"));
+    }
+  }
+  pending_.clear();
+}
+
+void MuCommunicator::write_raw(u64 offset, Bytes bytes) {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].excluded || targets_[i].qp == nullptr) continue;
+    cpu_.execute(cal_.cpu_post_wr, [this, i, offset, bytes] {
+      if (i >= targets_.size()) return;
+      ReplicaTarget& target = targets_[i];
+      if (target.excluded || target.qp == nullptr) return;
+      std::ignore = target.qp->post_write(0, bytes, target.log_vaddr + offset,
+                                          target.log_rkey, /*signaled=*/false);
+    });
+  }
+}
+
+void MuCommunicator::exclude_replica(NodeId id) {
+  for (auto& target : targets_) {
+    if (target.id == id) target.excluded = true;
+  }
+  fail_if_quorum_lost();
+}
+
+void MuCommunicator::abort_all() {
+  pending_.clear();
+  sequencer_.flush_all(error(StatusCode::kAborted, "replication aborted"));
+}
+
+// ---------------------------------------------------------------------------
+// P4ceCommunicator
+// ---------------------------------------------------------------------------
+
+P4ceCommunicator::P4ceCommunicator(sim::Simulator& sim, sim::CpuExecutor& cpu,
+                                   const Calibration& cal, u32 f_needed,
+                                   std::vector<ReplicaTarget> targets, rdma::Nic& nic,
+                                   Ipv4Addr switch_ip, NodeId self, Hooks hooks)
+    : sim_(sim),
+      cpu_(cpu),
+      cal_(cal),
+      f_needed_(f_needed),
+      nic_(nic),
+      switch_ip_(switch_ip),
+      self_(self),
+      hooks_(std::move(hooks)),
+      fallback_(sim, cpu, cal, f_needed, targets),
+      targets_snapshot_(std::move(targets)),
+      reaccel_timer_(sim, cal.reacceleration_period, [this] { probe_reacceleration(); }) {
+  switch_cq_.set_callback([this](const rdma::Completion& c) { on_switch_completion(c); });
+}
+
+P4ceCommunicator::~P4ceCommunicator() = default;
+
+void P4ceCommunicator::start_fallback(u64 term) {
+  term_ = term;
+  state_ = State::kFallback;
+  reaccel_timer_.start();
+}
+
+void P4ceCommunicator::activate(u64 term, std::function<void(Status)> on_ready) {
+  term_ = term;
+  state_ = State::kConnecting;
+
+  // A fresh QP per activation: a previous one may be in the error state
+  // after a NAK or a switch crash.
+  if (switch_qp_ != nullptr) nic_.destroy_qp(switch_qp_->qpn());
+  rdma::QpConfig qp_config;
+  qp_config.max_send_wr = cal_.max_outstanding;
+  qp_config.mtu = cal_.mtu;
+  switch_qp_ = &nic_.create_qp(switch_cq_, qp_config);
+
+  p4::GroupRequestData request;
+  request.leader_node_id = self_;
+  request.term = term;
+  for (const auto& target : targets_snapshot_) {
+    if (!target.excluded) request.replica_ips.push_back(target.ip);
+  }
+  group_member_ips_ = request.replica_ips;
+
+  // The reply only comes after the control plane reprogrammed the data
+  // plane (~40 ms), so the handshake timeout must comfortably exceed that.
+  constexpr Duration kGroupSetupTimeout = 500'000'000;
+  nic_.cm().connect(
+      switch_ip_, p4::kServiceP4ceGroup, *switch_qp_, request.encode(),
+      [this, on_ready = std::move(on_ready)](StatusOr<rdma::CmAgent::ConnectResult> result) {
+        if (!result.is_ok()) {
+          enter_fallback();
+          if (on_ready) on_ready(result.status());
+          return;
+        }
+        const auto advert = p4::MemoryAdvertisement::decode(result.value().private_data);
+        if (!advert) {
+          enter_fallback();
+          if (on_ready) on_ready(error(StatusCode::kInternal, "bad switch advertisement"));
+          return;
+        }
+        virtual_base_ = advert->vaddr;  // zero by construction (§IV-A)
+        virtual_rkey_ = advert->rkey;
+        bcast_qpn_ = result.value().remote_qpn;
+        // Any NAK a replica raises is forwarded unconditionally by the
+        // switch; one is enough to revert to un-accelerated mode (§III-A).
+        switch_qp_->set_nak_callback([this](rdma::NakCode, Psn) {
+          if (state_ == State::kAccelerated) enter_fallback();
+        });
+        state_ = State::kAccelerated;
+        reaccel_timer_.stop();
+        if (hooks_.on_mode_change) hooks_.on_mode_change(true);
+        if (on_ready) on_ready(Status::ok());
+        // Members may have joined while the control plane was configuring
+        // this group (a straggler's late grant): rebuild with the full set.
+        if (member_set_grew()) {
+          enter_fallback();
+          activate(term_, nullptr);
+        } else if (hooks_.on_repair_needed) {
+          hooks_.on_repair_needed();
+        }
+      },
+      kGroupSetupTimeout);
+}
+
+void P4ceCommunicator::replicate(u64 offset, Bytes entry, u64 seq, DoneFn done) {
+  sequencer_.expect(seq, std::move(done));
+
+  if (state_ != State::kAccelerated) {
+    // Un-accelerated path: identical to Mu.
+    fallback_.replicate(offset, entry, seq,
+                        [this, seq](Status st) { sequencer_.mark_ready(seq, std::move(st)); });
+    return;
+  }
+
+  accel_pending_.emplace(seq, AccelOp{offset, entry, nullptr});
+  // One post, one future completion: the whole point of the design.
+  cpu_.execute(cal_.cpu_post_wr, [this, offset, entry = std::move(entry), seq] {
+    if (state_ != State::kAccelerated || switch_qp_ == nullptr) return;  // replayed by fallback
+    const Status st =
+        switch_qp_->post_write(seq, std::move(entry), virtual_base_ + offset, virtual_rkey_);
+    if (!st.is_ok()) enter_fallback();
+  });
+}
+
+void P4ceCommunicator::on_switch_completion(const rdma::Completion& c) {
+  if (c.status != rdma::WcStatus::kSuccess) {
+    // NAK forwarded by the switch, or retry-exceeded because the switch
+    // died: "P4CE then reverts to un-accelerated communications" (§III-A).
+    if (state_ == State::kAccelerated) enter_fallback();
+    return;
+  }
+  cpu_.execute(cal_.cpu_completion, [this, seq = c.wr_id] {
+    auto it = accel_pending_.find(seq);
+    if (it == accel_pending_.end()) return;
+    accel_pending_.erase(it);
+    ++accel_ops_;
+    sequencer_.mark_ready(seq, Status::ok());
+  });
+}
+
+void P4ceCommunicator::enter_fallback() {
+  if (state_ == State::kFallback) return;
+  state_ = State::kFallback;
+  if (fallbacks_ == 0) accel_ops_at_first_fallback_ = accel_ops_;
+  ++fallbacks_;
+  // Silence the accelerated QP: everything outstanding is replayed over the
+  // direct connections below, and its go-back-N must not keep fighting.
+  if (switch_qp_ != nullptr) switch_qp_->reset();
+  if (hooks_.on_mode_change) hooks_.on_mode_change(false);
+
+  // Replay everything that was in flight on the accelerated path through
+  // the direct connections (idempotent: same bytes at the same offsets).
+  auto pending = std::move(accel_pending_);
+  accel_pending_.clear();
+  if (!pending.empty()) fallback_.set_start_seq(pending.begin()->first);
+  for (auto& [seq, op] : pending) {
+    fallback_.replicate(op.offset, std::move(op.entry), seq,
+                        [this, seq = seq](Status st) { sequencer_.mark_ready(seq, std::move(st)); });
+  }
+  // Entries committed with f *other* ACKs may be missing at the replica
+  // that NAK'd; the node refills them from its log over the direct path.
+  if (hooks_.on_repair_needed) hooks_.on_repair_needed();
+  // "the leader then periodically tries to re-establish a connection
+  // through the switch to enable in-network replication again" (§III).
+  reaccel_timer_.start();
+}
+
+void P4ceCommunicator::probe_reacceleration() {
+  if (state_ != State::kFallback) return;
+  ++reaccelerations_;
+  activate(term_, nullptr);
+}
+
+void P4ceCommunicator::write_raw(u64 offset, Bytes bytes) {
+  if (state_ != State::kAccelerated) {
+    fallback_.write_raw(offset, std::move(bytes));
+    return;
+  }
+  cpu_.execute(cal_.cpu_post_wr, [this, offset, bytes = std::move(bytes)] {
+    if (state_ != State::kAccelerated || switch_qp_ == nullptr) {
+      fallback_.write_raw(offset, bytes);
+      return;
+    }
+    std::ignore = switch_qp_->post_write(0, std::move(bytes), virtual_base_ + offset,
+                                         virtual_rkey_, /*signaled=*/false);
+  });
+}
+
+void P4ceCommunicator::exclude_replica(NodeId id) {
+  fallback_.exclude_replica(id);
+  for (auto& target : targets_snapshot_) {
+    if (target.id == id) target.excluded = true;
+  }
+  if (state_ != State::kAccelerated || update_in_flight_) return;
+
+  // Ask the control plane to reprogram the multicast group without the dead
+  // member; the data plane keeps running meanwhile and the reconfiguration
+  // costs the measured 40 ms (§V-E "Crashed replica").
+  update_in_flight_ = true;
+  p4::GroupRequestData request;
+  request.leader_node_id = self_;
+  request.term = term_;
+  for (const auto& target : targets_snapshot_) {
+    if (!target.excluded) request.replica_ips.push_back(target.ip);
+  }
+  nic_.cm().connect_virtual(
+      switch_ip_, p4::kServiceP4ceUpdate, bcast_qpn_, 0, request.encode(),
+      [this](StatusOr<rdma::CmAgent::ConnectResult> result) {
+        update_in_flight_ = false;
+        if (!result.is_ok() && state_ == State::kAccelerated) {
+          enter_fallback();
+          return;
+        }
+        if (hooks_.on_membership_updated) hooks_.on_membership_updated();
+      },
+      /*timeout=*/100'000'000);
+}
+
+std::size_t P4ceCommunicator::outstanding() const noexcept { return sequencer_.outstanding(); }
+
+void P4ceCommunicator::abort_all() {
+  accel_pending_.clear();
+  fallback_.abort_all();
+  sequencer_.flush_all(error(StatusCode::kAborted, "replication aborted"));
+}
+
+bool P4ceCommunicator::member_set_grew() const {
+  // Only *growth* needs a fresh group: the data plane cannot gain a member
+  // without a new control-plane setup. Shrinking goes through the cheap
+  // membership-update service instead (exclude_replica).
+  for (const auto& target : targets_snapshot_) {
+    if (target.excluded) continue;
+    if (std::find(group_member_ips_.begin(), group_member_ips_.end(), target.ip) ==
+        group_member_ips_.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void P4ceCommunicator::reset_targets(std::vector<ReplicaTarget> targets) {
+  fallback_.reset_targets(targets);
+  targets_snapshot_ = std::move(targets);
+  // A replica joining the set while accelerated needs the switch group
+  // rebuilt (the data plane cannot add a member without a control-plane
+  // reconfiguration). Drain in-flight work through the direct path first.
+  if (state_ == State::kAccelerated && member_set_grew()) {
+    enter_fallback();
+    activate(term_, nullptr);
+  }
+}
+
+void P4ceCommunicator::set_start_seq(u64 seq) {
+  sequencer_.set_next(seq);
+  fallback_.set_start_seq(seq);
+}
+
+}  // namespace p4ce::consensus

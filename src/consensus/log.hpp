@@ -1,0 +1,133 @@
+// The replicated log: "each server participating in the protocol keeps a
+// log of values. The leader appends data to its own as well as the
+// replicas' logs. Both the leader and the replicas consume the content of
+// their own logs, asynchronously" (§III).
+//
+// Entry wire format, written with a single RDMA write so the trailing
+// commit marker only becomes visible after the payload:
+//
+//   [u32 length][u64 seq][u64 term][payload...][u8 marker=0x5A]
+//
+// Entries are 8-byte aligned. The writer treats the region as a ring; a
+// wrap record — [u32 0xffffffff][u64 next_seq] — sends readers back to
+// offset zero. The next_seq field lets a reader distinguish a fresh wrap
+// from a stale marker surviving from a previous lap of the ring (following
+// a stale one would silently skip entries).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "rdma/memory.hpp"
+
+namespace p4ce::consensus {
+
+inline constexpr u32 kEntryHeaderBytes = 20;  // length + seq + term
+inline constexpr u8 kEntryMarker = 0x5a;
+inline constexpr u32 kWrapMarker = 0xffffffffu;
+inline constexpr u64 kWrapRecordBytes = 12;  // marker + next_seq
+inline constexpr u64 kMaxEntryPayload = 1u << 20;
+
+/// One decoded log entry.
+struct LogEntry {
+  u64 seq = 0;
+  u64 term = 0;
+  Bytes payload;
+};
+
+/// Size an entry occupies in the log (8-byte aligned).
+constexpr u64 entry_footprint(u64 payload_size) noexcept {
+  return (kEntryHeaderBytes + payload_size + 1 + 7) & ~7ull;
+}
+
+/// Serialize an entry into its on-log byte representation.
+Bytes encode_entry(u64 seq, u64 term, BytesView payload);
+
+/// Leader-side appender over the local log region. append() writes the
+/// entry bytes into local memory and returns the (offset, encoded bytes)
+/// pair the communicator replicates to the same offset on every replica.
+class LogWriter {
+ public:
+  explicit LogWriter(rdma::MemoryRegion& region) : region_(region) {}
+
+  struct Append {
+    u64 offset = 0;
+    Bytes bytes;
+    /// Set when this append wrapped the ring: the wrap record (12 bytes at
+    /// `first`) must reach the replicas' logs before the entry itself so
+    /// their readers follow the wrap too.
+    std::optional<std::pair<u64, Bytes>> wrap;
+  };
+
+  StatusOr<Append> append(u64 seq, u64 term, BytesView payload);
+
+  /// Append several values as one contiguous byte range replicated with a
+  /// single RDMA write (the doorbell-batched path used by the goodput
+  /// experiment). Entries get consecutive seqs starting at `first_seq`.
+  StatusOr<Append> append_batch(u64 first_seq, u64 term,
+                                const std::vector<Bytes>& payloads);
+
+  u64 cursor() const noexcept { return cursor_; }
+  /// Reposition (new leader adopting a recovered log tail).
+  void set_cursor(u64 offset) noexcept { cursor_ = offset; }
+
+ private:
+  /// Ensure `need` contiguous bytes are available, emitting a wrap record
+  /// (tagged with `next_seq`) and restarting at 0 when the tail is short.
+  /// Returns the wrap record (offset + bytes) if one was written.
+  StatusOr<std::optional<std::pair<u64, Bytes>>> make_room(u64 need, u64 next_seq);
+
+  rdma::MemoryRegion& region_;
+  u64 cursor_ = 0;
+};
+
+/// Follower-side consumer: parses complete entries out of the region as DMA
+/// writes land (driven by the region's write hook) and invokes the delivery
+/// callback in order. Also the leader's local delivery path.
+class LogReader {
+ public:
+  using DeliverFn = std::function<void(const LogEntry&)>;
+
+  LogReader(rdma::MemoryRegion& region, DeliverFn deliver)
+      : region_(region), deliver_(std::move(deliver)) {}
+
+  /// Scan forward from the read cursor, delivering every complete entry.
+  /// Call whenever new bytes may have landed. Returns entries delivered.
+  u32 poll();
+
+  u64 cursor() const noexcept { return cursor_; }
+  u64 last_seq() const noexcept { return last_seq_; }
+  u64 last_term() const noexcept { return last_term_; }
+  void set_position(u64 offset, u64 seq) noexcept {
+    cursor_ = offset;
+    last_seq_ = seq;
+  }
+
+ private:
+  rdma::MemoryRegion& region_;
+  DeliverFn deliver_;
+  u64 cursor_ = 0;
+  u64 last_seq_ = 0;
+  u64 last_term_ = 0;
+};
+
+/// The progress record each node exposes for leader recovery: where its log
+/// ends and what it has delivered. Lives in its own small MR, readable via
+/// RDMA by a candidate ("view change procedure").
+struct Progress {
+  u64 last_seq = 0;
+  u64 last_term = 0;
+  u64 tail_offset = 0;
+
+  static constexpr u64 kWireSize = 24;
+  void store(rdma::MemoryRegion& region) const;
+  static Progress load(const rdma::MemoryRegion& region);
+  static Progress parse(BytesView bytes);
+};
+
+}  // namespace p4ce::consensus

@@ -1,0 +1,82 @@
+// One-sided control mailboxes. Each node exposes an MR with one 64-byte
+// slot per peer; a peer writes a control message into its slot with a plain
+// RDMA write (these are the rare, permission-request/grant messages of the
+// Mu election protocol — not on the data path). The slot's monotonically
+// increasing stamp distinguishes fresh messages from already-seen ones.
+#pragma once
+
+#include <cstring>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "rdma/memory.hpp"
+
+namespace p4ce::consensus {
+
+inline constexpr u64 kMailboxSlotBytes = 64;
+
+enum class ControlKind : u32 {
+  kNone = 0,
+  kPermissionRequest = 1,  ///< candidate asks to become the writer
+  kPermissionGrant = 2,    ///< replica granted; its QPs now admit the candidate
+  kPermissionDenied = 3,   ///< replica follows someone else
+};
+
+struct ControlMessage {
+  ControlKind kind = ControlKind::kNone;
+  u32 from = 0;   ///< sender node id
+  u64 term = 0;
+  u64 arg = 0;    ///< message-specific (e.g. granter's last log seq)
+  u64 stamp = 0;  ///< per-sender monotonically increasing
+
+  Bytes encode() const {
+    Bytes out(kMailboxSlotBytes, 0);
+    std::memcpy(out.data(), &kind, 4);
+    std::memcpy(out.data() + 4, &from, 4);
+    std::memcpy(out.data() + 8, &term, 8);
+    std::memcpy(out.data() + 16, &arg, 8);
+    std::memcpy(out.data() + 24, &stamp, 8);
+    return out;
+  }
+
+  static ControlMessage parse(const u8* slot) {
+    ControlMessage m;
+    std::memcpy(&m.kind, slot, 4);
+    std::memcpy(&m.from, slot + 4, 4);
+    std::memcpy(&m.term, slot + 8, 8);
+    std::memcpy(&m.arg, slot + 16, 8);
+    std::memcpy(&m.stamp, slot + 24, 8);
+    return m;
+  }
+};
+
+/// Receiver-side view over the mailbox MR: decodes the slot a remote write
+/// landed in and surfaces fresh messages.
+class MailboxReceiver {
+ public:
+  MailboxReceiver(rdma::MemoryRegion& region, u32 max_nodes,
+                  std::function<void(const ControlMessage&)> on_message)
+      : region_(region), last_stamp_(max_nodes, 0), on_message_(std::move(on_message)) {
+    region_.set_write_hook([this](u64 offset, u64) { on_write(offset); });
+  }
+
+  /// Slot offset for messages from `sender`.
+  static u64 slot_offset(u32 sender) noexcept { return sender * kMailboxSlotBytes; }
+
+ private:
+  void on_write(u64 offset) {
+    const u32 sender = static_cast<u32>(offset / kMailboxSlotBytes);
+    if (sender >= last_stamp_.size()) return;
+    const ControlMessage m = ControlMessage::parse(region_.bytes() + slot_offset(sender));
+    if (m.kind == ControlKind::kNone || m.stamp <= last_stamp_[sender]) return;
+    last_stamp_[sender] = m.stamp;
+    on_message_(m);
+  }
+
+  rdma::MemoryRegion& region_;
+  std::vector<u64> last_stamp_;
+  std::function<void(const ControlMessage&)> on_message_;
+};
+
+}  // namespace p4ce::consensus

@@ -1,0 +1,239 @@
+// A consensus node: the Mu decision protocol (leader election by lowest live
+// id, heartbeat liveness, RDMA-permission-based single-writer enforcement,
+// log replication with f-ACK commit, view change with log recovery) on top
+// of a pluggable communicator (direct Mu replication or P4CE in-network
+// scatter/gather). One Node == one machine in the paper's deployment.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "consensus/calibration.hpp"
+#include "consensus/communicator.hpp"
+#include "consensus/heartbeat.hpp"
+#include "consensus/log.hpp"
+#include "consensus/mailbox.hpp"
+#include "rdma/nic.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace p4ce::consensus {
+
+enum class Mode { kMu, kP4ce };
+
+inline constexpr u32 kMaxNodes = 16;
+
+struct NodeOptions {
+  NodeId id = 0;
+  Mode mode = Mode::kP4ce;
+  u64 log_size = 64ull << 20;
+  Calibration cal;
+  Ipv4Addr switch_ip = 0;  ///< control-plane address (P4CE mode)
+  bool has_backup_path = true;
+};
+
+struct PeerInfo {
+  NodeId id = kInvalidNode;
+  Ipv4Addr ip = 0;
+};
+
+class Node {
+ public:
+  /// (status, seq): fires when the proposed value is committed (f replica
+  /// ACKs) or known lost.
+  using CommitFn = std::function<void(Status, u64 seq)>;
+  using DeliverFn = std::function<void(const LogEntry&)>;
+
+  Node(sim::Simulator& sim, rdma::Nic& nic, rdma::MemoryManager& memory, sim::CpuExecutor& cpu,
+       NodeOptions options, std::vector<PeerInfo> peers);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Register listeners, connect the direct mesh, start heartbeats, and run
+  /// the initial election.
+  void start();
+
+  // --- Client API -----------------------------------------------------------
+
+  /// Propose one value. Leader only (kFailedPrecondition otherwise).
+  Status propose(Bytes value, CommitFn done);
+
+  /// Propose a batch of values replicated with a single RDMA write (the
+  /// doorbell-batched goodput path). `done` fires once the whole batch
+  /// committed.
+  Status propose_batch(std::vector<Bytes> values, CommitFn done);
+
+  /// SMR delivery: every node applies committed-log entries in order.
+  void set_deliver(DeliverFn fn) { user_deliver_ = std::move(fn); }
+
+  // --- Introspection -----------------------------------------------------------
+
+  NodeId id() const noexcept { return options_.id; }
+  Ipv4Addr ip() const noexcept { return nic_.ip(); }
+  u64 term() const noexcept { return term_; }
+  bool leader_active() const noexcept { return leader_active_; }
+  NodeId view_leader() const;  ///< lowest node id this node believes alive
+  bool accelerated() const noexcept {
+    return communicator_ != nullptr && communicator_->accelerated();
+  }
+  u64 commits() const noexcept { return commits_; }
+  u64 delivered() const noexcept { return delivered_; }
+  u64 last_delivered_seq() const noexcept { return reader_ ? reader_->last_seq() : 0; }
+  std::size_t outstanding() const noexcept {
+    return communicator_ ? communicator_->outstanding() : 0;
+  }
+  bool crashed() const noexcept { return crashed_; }
+
+  // --- Failure injection & instrumentation hooks -------------------------------
+
+  /// Crash-stop this machine: CPU halts, NIC stops, heartbeat freezes.
+  void crash();
+
+  /// Fires when this node becomes an active leader (term).
+  void set_on_leader_active(std::function<void(u64)> fn) { on_leader_active_ = std::move(fn); }
+  /// Fires when the switch finished excluding a crashed replica (P4CE).
+  void set_on_membership_updated(std::function<void()> fn) {
+    on_membership_updated_ = std::move(fn);
+  }
+  /// Fires when this node detects a dead replica (leader side).
+  void set_on_replica_excluded(std::function<void(NodeId)> fn) {
+    on_replica_excluded_ = std::move(fn);
+  }
+
+  HeartbeatMonitor* heartbeat() noexcept { return heartbeat_.get(); }
+  Communicator* communicator() noexcept { return communicator_.get(); }
+
+ private:
+  struct RemoteMr {
+    u64 vaddr = 0;
+    RKey rkey = 0;
+    u64 length = 0;
+  };
+  struct Peer {
+    NodeId id = kInvalidNode;
+    Ipv4Addr ip = 0;
+    // Requester-side QPs toward this peer.
+    std::unique_ptr<rdma::CompletionQueue> ctrl_cq;
+    std::unique_ptr<rdma::CompletionQueue> data_cq;
+    rdma::QueuePair* ctrl_qp = nullptr;
+    rdma::QueuePair* data_qp = nullptr;
+    bool connected = false;
+    // Peer's advertised regions (learned during the ctrl handshake).
+    RemoteMr hb, mail, log, progress;
+    // Responder-side QPs this peer established toward us.
+    rdma::QueuePair* in_ctrl = nullptr;
+    rdma::QueuePair* in_data = nullptr;
+    u64 mail_stamp = 0;  ///< stamp for messages we send to this peer
+  };
+  /// A group connection accepted from a switch control plane.
+  struct GroupConnection {
+    NodeId leader = kInvalidNode;
+    u64 term = 0;
+    rdma::QueuePair* qp = nullptr;
+  };
+
+  // Setup.
+  rdma::CompletionQueue& inbound_cq();
+  void register_listeners();
+  void connect_mesh(std::function<void()> done);
+  void connect_peer(Peer& peer, std::function<void(bool)> done);
+  Bytes local_advertisement() const;
+  void parse_peer_advertisement(Peer& peer, BytesView data);
+
+  // Verbs helpers over the ctrl QPs.
+  void issue_read(Peer& peer, const RemoteMr& mr, u64 offset, u32 len,
+                  std::function<void(Bytes)> done);
+  void send_control(Peer& peer, ControlMessage msg);
+  void on_ctrl_completion(Peer& peer, const rdma::Completion& c);
+
+  // Election / view changes.
+  void reevaluate_view();
+  void start_campaign();
+  void retry_campaign();
+  void on_control_message(const ControlMessage& msg);
+  void apply_permissions(NodeId writer);
+  void become_leader();
+  void activate_leadership();
+  void recover_and_activate();
+  void finish_recovery(u64 max_seq, u64 tail_offset);
+  void on_peer_died(u32 peer_index);
+
+  // Log delivery.
+  void reconcile_replicas();
+  void repair_replicas();
+  void on_log_bytes_written();
+  void deliver_ready_entries();
+  void update_progress();
+
+  // Path failover (switch crash).
+  void on_qp_error(NodeId peer_id);
+  void begin_reroute();
+  void finish_reroute();
+  std::vector<ReplicaTarget> build_targets();
+  std::unique_ptr<Communicator> make_communicator();
+
+  sim::Simulator& sim_;
+  rdma::Nic& nic_;
+  rdma::MemoryManager& memory_;
+  sim::CpuExecutor& cpu_;
+  NodeOptions options_;
+  std::vector<Peer> peers_;
+
+  // Exposed memory regions.
+  rdma::MemoryRegion* hb_mr_ = nullptr;
+  rdma::MemoryRegion* mail_mr_ = nullptr;
+  rdma::MemoryRegion* log_mr_ = nullptr;
+  rdma::MemoryRegion* progress_mr_ = nullptr;
+
+  std::unique_ptr<HeartbeatMonitor> heartbeat_;
+  std::unique_ptr<MailboxReceiver> mailbox_;
+  std::unique_ptr<LogWriter> writer_;
+  std::unique_ptr<LogReader> reader_;
+  std::unique_ptr<Communicator> communicator_;
+  std::unique_ptr<rdma::CompletionQueue> inbound_cq_;
+  std::vector<GroupConnection> group_connections_;
+
+  // Pending read completions on ctrl QPs, by wr_id.
+  std::map<u64, std::function<void(Bytes)>> pending_reads_;
+  u64 next_wr_id_ = 1;
+
+  // Election state.
+  u64 term_ = 0;
+  NodeId granted_to_ = kInvalidNode;
+  bool campaigning_ = false;
+  u64 campaign_term_ = 0;
+  std::set<NodeId> grants_;
+  bool leader_active_ = false;
+  bool mesh_ready_ = false;
+  std::unique_ptr<sim::PeriodicTimer> reconcile_timer_;
+  std::vector<bool> prev_alive_;
+  sim::EventHandle campaign_retry_;
+
+  // Proposer state.
+  u64 next_seq_ = 1;    ///< next log entry sequence number
+  u64 next_op_ = 1;     ///< next communicator operation id
+  u64 commits_ = 0;
+  u64 delivered_ = 0;
+  bool deliver_scheduled_ = false;
+
+  // Failure handling.
+  bool crashed_ = false;
+  bool rerouting_ = false;
+  bool switch_dead_hint_ = false;  ///< set after re-routing around the switch
+  std::set<NodeId> recent_qp_errors_;
+  sim::EventHandle qp_error_window_;
+
+  DeliverFn user_deliver_;
+  std::function<void(u64)> on_leader_active_;
+  std::function<void()> on_membership_updated_;
+  std::function<void(NodeId)> on_replica_excluded_;
+};
+
+}  // namespace p4ce::consensus

@@ -1,0 +1,43 @@
+#include "core/group.hpp"
+
+namespace p4ce::core {
+
+ReplicationGroup::ReplicationGroup(const ClusterOptions& options)
+    : cluster_(Cluster::create(options)) {}
+
+bool ReplicationGroup::start(Duration max_wait) { return cluster_->start(max_wait); }
+
+Status ReplicationGroup::propose(Bytes value, CommitFn done) {
+  consensus::Node* leader = cluster_->leader();
+  if (leader == nullptr) {
+    return error(StatusCode::kUnavailable, "no active leader (view change in progress)");
+  }
+  ++proposals_;
+  return leader->propose(std::move(value), [this, done = std::move(done)](Status st, u64 seq) {
+    if (st.is_ok()) {
+      ++committed_;
+    } else {
+      ++failed_;
+    }
+    if (done) done(std::move(st), seq);
+  });
+}
+
+void ReplicationGroup::on_deliver(DeliverFn fn) {
+  auto shared = std::make_shared<DeliverFn>(std::move(fn));
+  for (u32 i = 0; i < cluster_->size(); ++i) {
+    cluster_->node(i).set_deliver(
+        [shared, i](const consensus::LogEntry& entry) { (*shared)(i, entry); });
+  }
+}
+
+bool ReplicationGroup::run_until_idle(Duration max_wait) {
+  const SimTime deadline = now() + max_wait;
+  while (now() < deadline) {
+    if (committed_ + failed_ >= proposals_) return true;
+    cluster_->run_for(100'000);
+  }
+  return committed_ + failed_ >= proposals_;
+}
+
+}  // namespace p4ce::core

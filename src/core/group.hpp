@@ -1,0 +1,58 @@
+// ReplicationGroup: the one-object public API a downstream application uses.
+// Wraps a Cluster, routes proposals to the current leader, and exposes SMR
+// delivery. See examples/quickstart.cpp for the 40-line tour.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/cluster.hpp"
+
+namespace p4ce::core {
+
+class ReplicationGroup {
+ public:
+  /// (node id, entry): an entry was applied on that node's state machine.
+  using DeliverFn = std::function<void(NodeId, const consensus::LogEntry&)>;
+  /// (status, seq): the proposed value committed (majority-replicated).
+  using CommitFn = consensus::Node::CommitFn;
+
+  explicit ReplicationGroup(const ClusterOptions& options);
+
+  /// Boot the cluster; returns false if no leader emerged in `max_wait`.
+  bool start(Duration max_wait = 2'000'000'000);
+
+  /// Propose a value through the current leader.
+  Status propose(Bytes value, CommitFn done);
+  Status propose(std::string_view value, CommitFn done) {
+    return propose(to_bytes(value), done);
+  }
+
+  /// Register the SMR apply callback (fires on every node, in log order).
+  void on_deliver(DeliverFn fn);
+
+  /// Advance simulated time.
+  void run_for(Duration span) { cluster_->run_for(span); }
+  /// Run until `pending` outstanding commits drain or timeout elapses.
+  bool run_until_idle(Duration max_wait = 1'000'000'000);
+
+  SimTime now() const noexcept { return cluster_->now(); }
+  consensus::Node* leader() noexcept { return cluster_->leader(); }
+  Cluster& cluster() noexcept { return *cluster_; }
+
+  // Failure injection passthroughs.
+  void crash_node(u32 i) { cluster_->crash_node(i); }
+  void crash_switch() { cluster_->crash_switch(); }
+
+  u64 proposals() const noexcept { return proposals_; }
+  u64 committed() const noexcept { return committed_; }
+  u64 failed() const noexcept { return failed_; }
+
+ private:
+  std::unique_ptr<Cluster> cluster_;
+  u64 proposals_ = 0;
+  u64 committed_ = 0;
+  u64 failed_ = 0;
+};
+
+}  // namespace p4ce::core

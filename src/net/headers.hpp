@@ -1,0 +1,80 @@
+// Ethernet / IPv4 / UDP header definitions with byte-exact codecs.
+//
+// The simulator fast-path passes structured headers between components, but
+// every header can be encoded to and decoded from network byte order; wire
+// sizes used for bandwidth accounting are always the encoded sizes.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace p4ce::net {
+
+/// 48-bit MAC address stored in the low bits of a u64.
+using MacAddr = u64;
+
+inline constexpr u16 kEtherTypeIpv4 = 0x0800;
+inline constexpr u8 kIpProtoUdp = 17;
+/// IANA-assigned UDP destination port for RoCE v2.
+inline constexpr u16 kRoceUdpPort = 4791;
+
+/// Layer-1 overhead per frame that occupies the wire but is not part of the
+/// frame itself: preamble + SFD (8 B) and minimum inter-frame gap (12 B).
+inline constexpr u32 kPhyOverheadBytes = 20;
+/// Frame check sequence appended to every Ethernet frame.
+inline constexpr u32 kEthernetFcsBytes = 4;
+
+struct EthernetHeader {
+  MacAddr dst_mac = 0;
+  MacAddr src_mac = 0;
+  u16 ethertype = kEtherTypeIpv4;
+
+  static constexpr u32 kWireSize = 14;
+
+  void encode(ByteWriter& w) const;
+  static EthernetHeader decode(ByteReader& r);
+  bool operator==(const EthernetHeader&) const = default;
+};
+
+struct Ipv4Header {
+  u8 dscp_ecn = 0;
+  u16 total_length = 0;  ///< header + payload, bytes
+  u8 ttl = 64;
+  u8 protocol = kIpProtoUdp;
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+
+  static constexpr u32 kWireSize = 20;
+
+  /// RFC 791 one's-complement header checksum over the encoded header.
+  u16 checksum() const;
+
+  void encode(ByteWriter& w) const;
+  static Ipv4Header decode(ByteReader& r);
+  bool operator==(const Ipv4Header&) const = default;
+};
+
+struct UdpHeader {
+  u16 src_port = 0;
+  u16 dst_port = kRoceUdpPort;
+  u16 length = 0;  ///< header + payload, bytes
+
+  static constexpr u32 kWireSize = 8;
+
+  void encode(ByteWriter& w) const;
+  static UdpHeader decode(ByteReader& r);
+  bool operator==(const UdpHeader&) const = default;
+};
+
+/// "10.0.0.x"-style dotted-quad formatting for logs and error messages.
+std::string ipv4_to_string(Ipv4Addr a);
+
+/// Build an address 10.0.`hi`.`lo` (host order).
+constexpr Ipv4Addr make_ip(u8 hi, u8 lo) noexcept {
+  return (10u << 24) | (0u << 16) | (static_cast<u32>(hi) << 8) | lo;
+}
+
+}  // namespace p4ce::net

@@ -1,0 +1,95 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace p4ce::net {
+
+namespace {
+// Marker bits describing which optional headers follow BTH. A real RoCE
+// parser infers this from the BTH opcode; our CM messages are a modeling
+// construct, so the encoder writes an explicit layout byte right after the
+// UDP header to keep decode unambiguous and round-trip exact.
+constexpr u8 kHasReth = 0x01;
+constexpr u8 kHasAeth = 0x02;
+constexpr u8 kHasCm = 0x04;
+}  // namespace
+
+Bytes Packet::encode() const {
+  Bytes out;
+  out.reserve(frame_size());
+  ByteWriter w(out);
+  eth.encode(w);
+  ip.encode(w);
+  udp.encode(w);
+  u8 layout = 0;
+  if (reth) layout |= kHasReth;
+  if (aeth) layout |= kHasAeth;
+  if (cm) layout |= kHasCm;
+  w.u8be(layout);
+  bth.encode(w);
+  if (reth) reth->encode(w);
+  if (aeth) aeth->encode(w);
+  if (cm) cm->encode(w);
+  w.u32be(static_cast<u32>(payload.size()));
+  w.raw(payload);
+  w.u32be(0xdeadbeef);  // ICRC placeholder (not computed in the model)
+  return out;
+}
+
+Packet Packet::decode(BytesView bytes, bool* ok) {
+  Packet p;
+  ByteReader r(bytes);
+  p.eth = EthernetHeader::decode(r);
+  p.ip = Ipv4Header::decode(r);
+  p.udp = UdpHeader::decode(r);
+  const u8 layout = r.u8be();
+  p.bth = rdma::Bth::decode(r);
+  if (layout & kHasReth) p.reth = rdma::Reth::decode(r);
+  if (layout & kHasAeth) p.aeth = rdma::Aeth::decode(r);
+  if (layout & kHasCm) p.cm = rdma::CmMessage::decode(r);
+  const u32 payload_len = r.u32be();
+  p.payload = r.raw(payload_len);
+  r.skip(4);  // ICRC
+  if (ok) *ok = r.ok();
+  return p;
+}
+
+std::string Packet::describe() const {
+  char buf[160];
+  if (cm) {
+    std::snprintf(buf, sizeof(buf), "CM %s %s->%s qpn=%u psn=%u",
+                  std::string(rdma::to_string(cm->type)).c_str(), ipv4_to_string(ip.src).c_str(),
+                  ipv4_to_string(ip.dst).c_str(), cm->sender_qpn, cm->starting_psn);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %s->%s dqp=%u psn=%u len=%zu%s",
+                  std::string(rdma::to_string(bth.opcode)).c_str(),
+                  ipv4_to_string(ip.src).c_str(), ipv4_to_string(ip.dst).c_str(), bth.dest_qp,
+                  bth.psn, payload.size(), is_nak() ? " NAK" : "");
+  }
+  return buf;
+}
+
+SimTime Link::send(int from, Packet packet) {
+  const SimTime now = sim_.now();
+  if (cut_ || ends_[1 - from] == nullptr) return now;
+
+  const Duration ser = serialization_delay(packet.wire_size(), bandwidth_gbps_);
+  SimTime& busy = busy_until_[from];
+  const SimTime start = std::max(busy, now);
+  const SimTime done = start + ser;
+  busy = done;
+  wire_bytes_[from] += packet.wire_size();
+  ++packets_[from];
+
+  PacketSink* dst = ends_[1 - from];
+  const u64 epoch = epoch_;
+  sim_.schedule_at(done + propagation_,
+                   [this, dst, epoch, p = std::move(packet)]() mutable {
+                     if (epoch_ != epoch || cut_) return;  // link was severed
+                     dst->deliver(std::move(p));
+                   });
+  return done;
+}
+
+}  // namespace p4ce::net

@@ -1,0 +1,283 @@
+#include "p4ce/dataplane.hpp"
+
+#include <algorithm>
+
+#include <tuple>
+#include "rdma/headers.hpp"
+
+namespace p4ce::p4 {
+
+namespace {
+constexpr u64 src_key(u16 group_idx, Ipv4Addr ip) noexcept {
+  return (static_cast<u64>(group_idx) << 32) | ip;
+}
+}  // namespace
+
+P4ceDataplane::P4ceDataplane(Ipv4Addr switch_ip, AckDropStage drop_stage)
+    : switch_ip_(switch_ip), drop_stage_(drop_stage) {}
+
+Status P4ceDataplane::add_route(Ipv4Addr dst, u32 port) {
+  l3_.set(dst, port);
+  return Status::ok();
+}
+
+Status P4ceDataplane::install_group(const GroupSpec& spec) {
+  if (spec.group_idx >= kMaxGroups) {
+    return error(StatusCode::kInvalidArgument, "group index out of range");
+  }
+  if (spec.replicas.size() > kMaxReplicasPerGroup) {
+    return error(StatusCode::kInvalidArgument, "too many replicas for group");
+  }
+  GroupState& group = groups_[spec.group_idx];
+  if (group.active) return error(StatusCode::kAlreadyExists, "group slot in use");
+
+  group.spec = spec;
+  group.num_recv.cp_clear(0);
+  group.credits.cp_clear(31);
+  group.stats = {};
+  if (Status st = bcast_table_.add(spec.bcast_qpn, spec.group_idx); !st) return st;
+  if (Status st = aggr_table_.add(spec.aggr_qpn, spec.group_idx); !st) {
+    std::ignore = bcast_table_.remove(spec.bcast_qpn);
+    return st;
+  }
+  for (std::size_t rid = 0; rid < spec.replicas.size(); ++rid) {
+    replica_src_table_.set(src_key(spec.group_idx, spec.replicas[rid].ip),
+                           static_cast<u16>(rid));
+  }
+  group.active = true;
+  return Status::ok();
+}
+
+Status P4ceDataplane::remove_group(u16 group_idx) {
+  if (group_idx >= kMaxGroups || !groups_[group_idx].active) {
+    return error(StatusCode::kNotFound, "no such group");
+  }
+  GroupState& group = groups_[group_idx];
+  std::ignore = bcast_table_.remove(group.spec.bcast_qpn);
+  std::ignore = aggr_table_.remove(group.spec.aggr_qpn);
+  for (const auto& replica : group.spec.replicas) {
+    std::ignore = replica_src_table_.remove(src_key(group_idx, replica.ip));
+  }
+  group.active = false;
+  return Status::ok();
+}
+
+Status P4ceDataplane::update_group_replicas(u16 group_idx, std::vector<ConnectionEntry> replicas,
+                                            u32 f_needed) {
+  if (group_idx >= kMaxGroups || !groups_[group_idx].active) {
+    return error(StatusCode::kNotFound, "no such group");
+  }
+  if (replicas.size() > kMaxReplicasPerGroup) {
+    return error(StatusCode::kInvalidArgument, "too many replicas for group");
+  }
+  GroupState& group = groups_[group_idx];
+  for (const auto& replica : group.spec.replicas) {
+    std::ignore = replica_src_table_.remove(src_key(group_idx, replica.ip));
+  }
+  group.spec.replicas = std::move(replicas);
+  group.spec.f_needed = f_needed;
+  for (std::size_t rid = 0; rid < group.spec.replicas.size(); ++rid) {
+    replica_src_table_.set(src_key(group_idx, group.spec.replicas[rid].ip),
+                           static_cast<u16>(rid));
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Ingress
+// ---------------------------------------------------------------------------
+
+void P4ceDataplane::ingress(sw::PacketContext& ctx) {
+  net::Packet& p = ctx.packet;
+
+  // 1. CM traffic addressed to the switch goes to the control plane:
+  //    "P4CE configures the data plane of the switch to have all
+  //    ConnectRequests intended for the switch redirected to the control
+  //    plane" (§IV-A). Punted CM handling covers the whole handshake.
+  if (p.is_cm() && p.ip.dst == switch_ip_) {
+    ctx.punt_to_cpu = true;
+    return;
+  }
+
+  // 2. Requests addressed to the switch on a BCast queue pair: scatter.
+  if (p.ip.dst == switch_ip_ && rdma::is_request(p.bth.opcode)) {
+    const u16* group_idx = bcast_table_.lookup(p.bth.dest_qp);
+    if (group_idx == nullptr || !groups_[*group_idx].active) {
+      ctx.drop = true;  // stale group or unknown QP: the leader will time out
+      return;
+    }
+    GroupState& group = groups_[*group_idx];
+    // Validate the virtual authentication key on packets that carry it.
+    if (p.reth && p.reth->rkey != group.spec.virtual_rkey) {
+      ++group.stats.bad_rkey_drops;
+      ctx.drop = true;
+      return;
+    }
+    // Reset NumRecv for this PSN: the answers to this request start from 0
+    // ("the dataplane also resets NumRecv at the index corresponding to the
+    // PSN of the packet it is multicasting", §IV-B).
+    group.num_recv.write(p.bth.psn % kNumRecvSlots, 0);
+    ++group.stats.requests_scattered;
+    ctx.meta[kMetaGroup] = *group_idx;
+    ctx.meta[kMetaFlags] |= kFlagScatter;
+    ctx.mcast_group = group.spec.mcast_group_id;
+    return;
+  }
+
+  // 3. ACKs from replicas on an Aggr queue pair: gather.
+  if (p.is_ack()) {
+    const u16* group_idx = aggr_table_.lookup(p.bth.dest_qp);
+    if (group_idx != nullptr && groups_[*group_idx].active) {
+      const u16* rid = replica_src_table_.lookup(src_key(*group_idx, p.ip.src));
+      if (rid == nullptr) {
+        ctx.drop = true;  // not a current member (e.g. excluded replica)
+        return;
+      }
+      ingress_gather(ctx, *group_idx, *rid);
+      return;
+    }
+    // ACK not destined for an aggregation QP: plain forwarding below.
+  }
+
+  // 4. Everything else: normal L3 forwarding.
+  const u32* port = l3_.lookup(p.ip.dst);
+  if (port == nullptr) {
+    ctx.drop = true;
+    return;
+  }
+  ++l3_forwarded_;
+  ctx.unicast_port = *port;
+}
+
+void P4ceDataplane::ingress_gather(sw::PacketContext& ctx, u16 group_idx, u16 rid) {
+  GroupState& group = groups_[group_idx];
+  net::Packet& p = ctx.packet;
+
+  // Translate the replica's PSN back to the leader's numbering.
+  const u32 delta = group.spec.replicas[rid].psn_delta;
+  const Psn leader_psn = (p.bth.psn - delta) & kPsnMask;
+  ctx.meta[kMetaGroup] = group_idx;
+  ctx.meta[kMetaPsn] = leader_psn;
+
+  // Negative acknowledgments are forwarded unconditionally so the leader
+  // learns that a replica is misbehaving and can fall back (§III).
+  if (p.is_nak()) {
+    ++group.stats.naks_forwarded;
+    send_to_leader(ctx, group);
+    return;
+  }
+
+  // Store this replica's latest credit count, then fold the minimum across
+  // all replicas' registers the Tofino way: the running minimum travels in
+  // packet metadata through one register stage per replica, each stage using
+  // the subtract-underflow trick (§IV-D).
+  if (credit_aggregation_) {
+    u32 running_min = 31;
+    const u32 replica_count = static_cast<u32>(group.spec.replicas.size());
+    for (u32 i = 0; i < replica_count; ++i) {
+      if (i == rid) {
+        running_min = group.credits.store_and_fold_min(i, p.aeth ? p.aeth->credits : 0,
+                                                       running_min);
+      } else {
+        running_min = group.credits.fold_min(i, running_min);
+      }
+    }
+    ctx.meta[kMetaMinCredit] = running_min;
+  } else {
+    // Ablation: no aggregation; the leader only ever sees the credit count
+    // of whichever replica happened to send the forwarded ACK.
+    ctx.meta[kMetaMinCredit] = p.aeth ? p.aeth->credits : 0;
+  }
+
+  // Count this answer; forward the f-th, drop the others.
+  const u32 count = group.num_recv.increment_read(leader_psn % kNumRecvSlots);
+  ++group.stats.acks_gathered;
+  if (count == group.spec.f_needed) {
+    ++group.stats.acks_forwarded;
+    send_to_leader(ctx, group);
+    return;
+  }
+  if (drop_stage_ == AckDropStage::kIngress) {
+    // Final design: "changing the processing of ACKs to drop the packet
+    // directly in the ingress of the replicas" lets aggregation scale to
+    // 121 M answers per second *per replica* (§IV-D).
+    ctx.drop = true;
+  } else {
+    // First-implementation behaviour kept for the ablation: surplus ACKs
+    // ride to the leader's egress parser and are dropped there.
+    ctx.meta[kMetaFlags] |= kFlagToLeader | kFlagEgressDrop;
+    ctx.unicast_port = group.spec.leader.port;
+  }
+}
+
+void P4ceDataplane::send_to_leader(sw::PacketContext& ctx, const GroupState& group) {
+  ctx.meta[kMetaFlags] |= kFlagToLeader;
+  ctx.unicast_port = group.spec.leader.port;
+}
+
+// ---------------------------------------------------------------------------
+// Egress
+// ---------------------------------------------------------------------------
+
+void P4ceDataplane::egress(sw::PacketContext& ctx) {
+  net::Packet& p = ctx.packet;
+  const u32 flags = ctx.meta[kMetaFlags];
+
+  if (flags & kFlagToLeader) {
+    if (flags & kFlagEgressDrop) {
+      // Ablation mode: the surplus ACK is discarded only now, after having
+      // consumed leader-egress parser capacity.
+      ctx.drop = true;
+      return;
+    }
+    const GroupState& group = groups_[ctx.meta[kMetaGroup]];
+    if (!group.active) {
+      ctx.drop = true;
+      return;
+    }
+    // Rewrite the aggregated (or NAK) answer so the leader sees a single
+    // acknowledgment coming from the switch: destination queue pair, packet
+    // sequence number, IP addresses, and the recomputed congestion fields
+    // (§III "Gather").
+    p.eth.src_mac = 0xAA'0000'0000ull | switch_ip_;
+    p.eth.dst_mac = group.spec.leader.mac;
+    p.ip.src = switch_ip_;
+    p.ip.dst = group.spec.leader.ip;
+    p.bth.dest_qp = group.spec.leader.qpn;
+    p.bth.psn = ctx.meta[kMetaPsn] & kPsnMask;
+    if (p.aeth && !p.aeth->is_nak) {
+      p.aeth->credits = static_cast<u8>(std::min<u32>(ctx.meta[kMetaMinCredit], 31));
+    }
+    return;
+  }
+
+  if (flags & kFlagScatter) {
+    const GroupState& group = groups_[ctx.meta[kMetaGroup]];
+    if (!group.active || ctx.replication_id >= group.spec.replicas.size()) {
+      ctx.drop = true;
+      return;
+    }
+    // Tailor this carbon copy for its replica: "it rewrites the destination
+    // queue pair, the authentication key, the virtual address of the buffer
+    // accessed by the request, the packet sequence number and the IP address
+    // of the destination" (§III "Broadcast").
+    const ConnectionEntry& conn = group.spec.replicas[ctx.replication_id];
+    p.eth.src_mac = 0xAA'0000'0000ull | switch_ip_;
+    p.eth.dst_mac = conn.mac;
+    p.ip.src = switch_ip_;
+    p.ip.dst = conn.ip;
+    p.bth.dest_qp = conn.qpn;
+    p.bth.psn = (p.bth.psn + conn.psn_delta) & kPsnMask;
+    if (p.reth) {
+      // The leader addresses a virtual buffer based at 0; each replica's log
+      // lives at its own virtual address with its own key.
+      p.reth->vaddr = conn.vaddr + p.reth->vaddr;
+      p.reth->rkey = conn.rkey;
+    }
+    return;
+  }
+
+  // Plain forwarded traffic leaves untouched.
+}
+
+}  // namespace p4ce::p4

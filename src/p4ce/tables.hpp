@@ -1,0 +1,151 @@
+// P4CE table layouts: the per-group metadata (paper Table II) and the
+// per-connection structures (paper Table III) the data plane matches
+// against, plus the wire formats of the CM private data P4CE piggybacks on
+// the handshake (§IV-A "Setting up the connection").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "net/headers.hpp"
+
+namespace p4ce::p4 {
+
+inline constexpr u32 kMaxGroups = 8;
+inline constexpr u32 kMaxReplicasPerGroup = 8;
+/// "We can aggregate 256 different PSNs per connection at a given time,
+/// which means that P4CE can handle up to 256 un-acknowledged packets on the
+/// fly per connection" (§IV-C).
+inline constexpr u32 kNumRecvSlots = 256;
+
+/// CM service ids (the "port numbers" of the CM listeners involved).
+inline constexpr u16 kServiceP4ceGroup = 0x10;   ///< leader -> switch CP
+inline constexpr u16 kServiceReplicaLog = 0x11;  ///< switch CP -> replica
+inline constexpr u16 kServiceDirect = 0x12;      ///< node -> node direct mesh
+/// Management service: a leader updates its group's membership by sending a
+/// ConnectRequest on this service with the new replica set; the control
+/// plane answers with a ConnectReply once the data plane is reprogrammed.
+inline constexpr u16 kServiceP4ceUpdate = 0x13;
+
+/// Table III: connection structure for one replica endpoint. "P4CE
+/// internally identifies a connection with an 8-bit integer that we refer
+/// to as endpoint identifier" — here the index of this entry in the group.
+struct ConnectionEntry {
+  Ipv4Addr ip = 0;
+  net::MacAddr mac = 0;
+  Qpn qpn = 0;       ///< replica-side queue pair the rewritten packets target
+  u32 port = 0;      ///< switch egress port toward this replica
+  u64 vaddr = 0;     ///< base virtual address of the replica's log buffer
+  u64 buffer_len = 0;
+  RKey rkey = 0;     ///< the replica's real authentication key
+  u32 psn_delta = 0; ///< replica PSN = (leader PSN + delta) mod 2^24
+};
+
+/// The leader endpoint of a communication group.
+struct LeaderEndpoint {
+  Ipv4Addr ip = 0;
+  net::MacAddr mac = 0;
+  Qpn qpn = 0;   ///< the leader's QP, destination of the aggregated ACK
+  u32 port = 0;  ///< switch egress port toward the leader
+};
+
+/// Everything the control plane installs for one communication group
+/// (Table II plus the connection structures).
+struct GroupSpec {
+  u16 group_idx = 0;
+  u16 mcast_group_id = 0;
+  Qpn bcast_qpn = 0;  ///< leader sends requests here; matched in ingress
+  Qpn aggr_qpn = 0;   ///< replicas send ACKs here; matched in ingress
+  u32 f_needed = 1;   ///< forward the f-th positive ACK to the leader
+  RKey virtual_rkey = 0;  ///< the key advertised to the leader (virtual VA 0)
+  LeaderEndpoint leader;
+  std::vector<ConnectionEntry> replicas;  ///< indexed by endpoint id (rid)
+};
+
+// ---------------------------------------------------------------------------
+// CM private-data codecs
+// ---------------------------------------------------------------------------
+
+/// Leader -> switch CP: who is leading, at which term, and the replica set.
+struct GroupRequestData {
+  u32 leader_node_id = 0;
+  u64 term = 0;
+  std::vector<Ipv4Addr> replica_ips;
+
+  Bytes encode() const {
+    Bytes out;
+    ByteWriter w(out);
+    w.u32be(leader_node_id);
+    w.u64be(term);
+    w.u8be(static_cast<u8>(replica_ips.size()));
+    for (Ipv4Addr ip : replica_ips) w.u32be(ip);
+    return out;
+  }
+  static std::optional<GroupRequestData> decode(BytesView bytes) {
+    ByteReader r(bytes);
+    GroupRequestData d;
+    d.leader_node_id = r.u32be();
+    d.term = r.u64be();
+    const u8 n = r.u8be();
+    for (u8 i = 0; i < n; ++i) d.replica_ips.push_back(r.u32be());
+    if (!r.ok()) return std::nullopt;
+    return d;
+  }
+};
+
+/// Switch CP -> replica: identifies the leader this group serves so the
+/// replica can refuse stale leaders (its permissions are the safety net
+/// either way).
+struct ReplicaJoinData {
+  u32 leader_node_id = 0;
+  u64 term = 0;
+
+  Bytes encode() const {
+    Bytes out;
+    ByteWriter w(out);
+    w.u32be(leader_node_id);
+    w.u64be(term);
+    return out;
+  }
+  static std::optional<ReplicaJoinData> decode(BytesView bytes) {
+    ByteReader r(bytes);
+    ReplicaJoinData d;
+    d.leader_node_id = r.u32be();
+    d.term = r.u64be();
+    if (!r.ok()) return std::nullopt;
+    return d;
+  }
+};
+
+/// Replica -> switch CP (ConnectReply private data): where the replica's
+/// log lives and the key that authorizes writing it.
+/// Switch CP -> leader uses the same layout with the *virtual* address
+/// (zero) and *virtual* key ("the virtual address is equal to zero, and
+/// adjusted during replication", §IV-A).
+struct MemoryAdvertisement {
+  u64 vaddr = 0;
+  u64 length = 0;
+  RKey rkey = 0;
+
+  Bytes encode() const {
+    Bytes out;
+    ByteWriter w(out);
+    w.u64be(vaddr);
+    w.u64be(length);
+    w.u32be(rkey);
+    return out;
+  }
+  static std::optional<MemoryAdvertisement> decode(BytesView bytes) {
+    ByteReader r(bytes);
+    MemoryAdvertisement d;
+    d.vaddr = r.u64be();
+    d.length = r.u64be();
+    d.rkey = r.u32be();
+    if (!r.ok()) return std::nullopt;
+    return d;
+  }
+};
+
+}  // namespace p4ce::p4

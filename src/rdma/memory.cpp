@@ -1,0 +1,77 @@
+#include "rdma/memory.hpp"
+
+#include <cstring>
+
+namespace p4ce::rdma {
+
+Status MemoryRegion::remote_write(u64 vaddr, BytesView data) {
+  if (!(access_ & kAccessRemoteWrite)) {
+    return error(StatusCode::kPermissionDenied, "region not writable by remote peer");
+  }
+  if (!contains(vaddr, data.size())) {
+    return error(StatusCode::kPermissionDenied, "write outside registered region");
+  }
+  const u64 offset = vaddr - vaddr_;
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  if (write_hook_) write_hook_(offset, data.size());
+  return Status::ok();
+}
+
+StatusOr<Bytes> MemoryRegion::remote_read(u64 vaddr, u64 len) const {
+  if (!(access_ & kAccessRemoteRead)) {
+    return error(StatusCode::kPermissionDenied, "region not readable by remote peer");
+  }
+  if (!contains(vaddr, len)) {
+    return error(StatusCode::kPermissionDenied, "read outside registered region");
+  }
+  const u64 offset = vaddr - vaddr_;
+  return Bytes(data_.begin() + static_cast<std::ptrdiff_t>(offset),
+               data_.begin() + static_cast<std::ptrdiff_t>(offset + len));
+}
+
+MemoryRegion& MemoryManager::register_region(u64 length, u32 access) {
+  // R_keys are random and unique within the host, like a real RNIC.
+  RKey rkey;
+  do {
+    rkey = rng_.next_u32();
+  } while (rkey == 0 || regions_.contains(rkey));
+
+  const u64 vaddr = next_vaddr_;
+  // Keep regions page-aligned and non-adjacent so out-of-bounds accesses
+  // can never accidentally land in a neighbouring region.
+  next_vaddr_ += ((length + 0xfff) & ~0xfffull) + 0x10000;
+
+  auto region = std::make_unique<MemoryRegion>(vaddr, length, rkey, access);
+  auto& ref = *region;
+  regions_.emplace(rkey, std::move(region));
+  return ref;
+}
+
+Status MemoryManager::deregister(RKey rkey) {
+  return regions_.erase(rkey) ? Status::ok()
+                              : error(StatusCode::kNotFound, "no region with this rkey");
+}
+
+MemoryRegion* MemoryManager::find(RKey rkey) noexcept {
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+const MemoryRegion* MemoryManager::find(RKey rkey) const noexcept {
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+Status MemoryManager::remote_write(RKey rkey, u64 vaddr, BytesView data) {
+  MemoryRegion* region = find(rkey);
+  if (region == nullptr) return error(StatusCode::kPermissionDenied, "invalid R_key");
+  return region->remote_write(vaddr, data);
+}
+
+StatusOr<Bytes> MemoryManager::remote_read(RKey rkey, u64 vaddr, u64 len) const {
+  const MemoryRegion* region = find(rkey);
+  if (region == nullptr) return error(StatusCode::kPermissionDenied, "invalid R_key");
+  return region->remote_read(vaddr, len);
+}
+
+}  // namespace p4ce::rdma

@@ -1,0 +1,106 @@
+// RDMA memory registration: regions with virtual addresses, R_keys and
+// access permissions, enforced on every one-sided operation exactly as a
+// RoCE NIC would ("any attempt to read or write without the right
+// permissions, or outside of the memory region, will raise an RDMA error" —
+// paper §II-A).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace p4ce::rdma {
+
+/// Access permissions for a memory region.
+enum Access : u32 {
+  kAccessLocalWrite = 1u << 0,
+  kAccessRemoteRead = 1u << 1,
+  kAccessRemoteWrite = 1u << 2,
+};
+
+/// A registered memory region. Owns its backing bytes. Remote (one-sided)
+/// operations go through `remote_write` / `remote_read`, which perform the
+/// R_key-independent bounds and permission checks; R_key validation is done
+/// by the owning MemoryManager before the region is even found.
+class MemoryRegion {
+ public:
+  MemoryRegion(u64 vaddr, u64 length, RKey rkey, u32 access)
+      : vaddr_(vaddr), rkey_(rkey), access_(access), data_(length, 0) {}
+
+  u64 vaddr() const noexcept { return vaddr_; }
+  u64 length() const noexcept { return data_.size(); }
+  RKey rkey() const noexcept { return rkey_; }
+  u32 access() const noexcept { return access_; }
+  void set_access(u32 access) noexcept { access_ = access; }
+
+  bool contains(u64 vaddr, u64 len) const noexcept {
+    return vaddr >= vaddr_ && vaddr + len <= vaddr_ + length() && vaddr + len >= vaddr;
+  }
+
+  /// Local (CPU-side) access, no permission checks.
+  u8* bytes() noexcept { return data_.data(); }
+  const u8* bytes() const noexcept { return data_.data(); }
+  std::span<u8> span() noexcept { return {data_.data(), data_.size()}; }
+
+  /// Write via DMA as the NIC would on an inbound RDMA write. Checks bounds
+  /// and kAccessRemoteWrite. Fires the write hook on success.
+  Status remote_write(u64 vaddr, BytesView data);
+
+  /// Read via DMA as the NIC would on an inbound RDMA read request.
+  StatusOr<Bytes> remote_read(u64 vaddr, u64 len) const;
+
+  /// Hook invoked after each successful remote write with (offset, length)
+  /// relative to the region base. This is how the simulation models a CPU
+  /// polling the region (replica log consumption, mailboxes) without busy
+  /// polling the event loop.
+  void set_write_hook(std::function<void(u64, u64)> hook) { write_hook_ = std::move(hook); }
+
+ private:
+  u64 vaddr_;
+  RKey rkey_;
+  u32 access_;
+  Bytes data_;
+  std::function<void(u64, u64)> write_hook_;
+};
+
+/// Per-host registry of memory regions: allocates virtual addresses and
+/// randomly-generated R_keys ("these keys are randomly generated and
+/// different on each server" — paper §I).
+class MemoryManager {
+ public:
+  explicit MemoryManager(u64 rng_seed) : rng_(rng_seed) {}
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  /// Register a region of `length` bytes with the given access flags.
+  /// The returned reference stays valid for the manager's lifetime.
+  MemoryRegion& register_region(u64 length, u32 access);
+
+  /// Deregister; outstanding remote ops against the key will start failing.
+  Status deregister(RKey rkey);
+
+  /// R_key lookup, the first check a NIC performs on an inbound request.
+  MemoryRegion* find(RKey rkey) noexcept;
+  const MemoryRegion* find(RKey rkey) const noexcept;
+
+  /// Full inbound-write path: R_key validation, then bounds/permissions.
+  Status remote_write(RKey rkey, u64 vaddr, BytesView data);
+  /// Full inbound-read path.
+  StatusOr<Bytes> remote_read(RKey rkey, u64 vaddr, u64 len) const;
+
+  std::size_t region_count() const noexcept { return regions_.size(); }
+
+ private:
+  Rng rng_;
+  u64 next_vaddr_ = 0x0000'1000'0000'0000ull;  // distinct per-host VA space start
+  std::unordered_map<RKey, std::unique_ptr<MemoryRegion>> regions_;
+};
+
+}  // namespace p4ce::rdma

@@ -1,0 +1,134 @@
+// Simulated RDMA NIC (RoCE v2). Owns queue pairs and the CM agent,
+// models per-packet tx/rx processing rates (message-rate limits) and the
+// receive-buffer occupancy that backs the credit count advertised in ACKs
+// (paper Table I / §II-A "Congestion").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/packet.hpp"
+#include "rdma/completion.hpp"
+#include "rdma/memory.hpp"
+#include "rdma/qp.hpp"
+#include "sim/simulator.hpp"
+
+namespace p4ce::rdma {
+
+class CmAgent;
+
+/// Interface the CM agent (and other packet-crafting components) use to
+/// inject packets into the network. Implemented by Nic and by the P4CE
+/// switch control plane (which crafts CM packets "by hand", as the paper's
+/// Scapy-based control plane does).
+class PacketIo {
+ public:
+  virtual ~PacketIo() = default;
+  virtual void send_packet(net::Packet packet) = 0;
+  virtual Ipv4Addr ip() const noexcept = 0;
+  virtual net::MacAddr mac() const noexcept = 0;
+  virtual sim::Simulator& simulator() noexcept = 0;
+};
+
+struct NicConfig {
+  /// Per-packet transmit processing time; bounds the NIC message rate
+  /// independently of link bandwidth (a ConnectX-5-class card).
+  Duration tx_per_packet = 40;  // ns => 25 M packets/s
+  /// Per-packet receive processing time (validation + DMA issue).
+  Duration rx_per_packet = 45;  // ns
+  /// Receive buffer slots; the credit count is capacity minus occupancy,
+  /// clamped to the 5 bits the AETH syndrome can carry.
+  u32 rx_buffer_capacity = 31;
+};
+
+/// The simulated RNIC.
+class Nic : public net::PacketSink, public PacketIo {
+ public:
+  Nic(sim::Simulator& sim, std::string name, Ipv4Addr ip, net::MacAddr mac, MemoryManager& memory,
+      NicConfig config = {});
+  ~Nic() override;
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  Ipv4Addr ip() const noexcept override { return ip_; }
+  net::MacAddr mac() const noexcept override { return mac_; }
+  sim::Simulator& simulator() noexcept override { return sim_; }
+  MemoryManager& memory() noexcept { return memory_; }
+  const NicConfig& config() const noexcept { return config_; }
+
+  /// Attach a link; returns the path index (0 = primary, 1 = backup, ...).
+  /// `end` is this NIC's endpoint index on the link.
+  u32 attach_link(net::Link* link, int end);
+
+  /// Select which attached path outbound packets use (fail-over to the
+  /// backup route after a switch crash, §III-A "Faulty switch").
+  void set_active_path(u32 path_index);
+  u32 active_path() const noexcept { return active_path_; }
+
+  /// Create a reliable-connection QP on this NIC.
+  QueuePair& create_qp(CompletionQueue& cq, QpConfig config = {});
+  QueuePair* find_qp(Qpn qpn) noexcept;
+  void destroy_qp(Qpn qpn);
+
+  CmAgent& cm() noexcept { return *cm_; }
+
+  /// Transmit a packet built by a QP or the CM agent (tx pipeline + link).
+  void send_packet(net::Packet packet) override;
+
+  /// PacketSink: inbound from a link.
+  void deliver(net::Packet packet) override;
+
+  /// Credits this NIC currently advertises in outgoing ACKs.
+  u8 current_credits() const noexcept;
+
+  /// Emulate host/NIC death: stop all processing, drop all traffic.
+  void power_off() noexcept { powered_ = false; }
+  bool powered() const noexcept { return powered_; }
+
+  u64 packets_sent() const noexcept { return tx_count_; }
+  u64 packets_received() const noexcept { return rx_count_; }
+  u64 packets_dropped() const noexcept { return drop_count_; }
+  /// Inbound packets tail-dropped because the receive buffer was full —
+  /// what the credit mechanism exists to prevent (§II-A "Congestion").
+  u64 rx_overflows() const noexcept { return rx_overflow_count_; }
+
+ private:
+  void dispatch(net::Packet packet);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  Ipv4Addr ip_;
+  net::MacAddr mac_;
+  MemoryManager& memory_;
+  NicConfig config_;
+
+  struct Path {
+    net::Link* link;
+    int end;
+  };
+  std::vector<Path> paths_;
+  u32 active_path_ = 0;
+
+  std::unordered_map<Qpn, std::unique_ptr<QueuePair>> qps_;
+  Qpn next_qpn_ = 0x100;
+  std::unique_ptr<CmAgent> cm_;
+
+  SimTime tx_busy_until_ = 0;
+  SimTime rx_busy_until_ = 0;
+  u32 rx_pending_ = 0;  ///< packets delivered but not yet processed
+  u64 tx_count_ = 0;
+  u64 rx_count_ = 0;
+  u64 drop_count_ = 0;
+  u64 rx_overflow_count_ = 0;
+  bool powered_ = true;
+};
+
+}  // namespace p4ce::rdma

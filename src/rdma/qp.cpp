@@ -1,0 +1,447 @@
+#include "rdma/qp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rdma/nic.hpp"
+
+namespace p4ce::rdma {
+
+std::string_view to_string(QpState s) noexcept {
+  switch (s) {
+    case QpState::kReset: return "RESET";
+    case QpState::kInit: return "INIT";
+    case QpState::kRtr: return "RTR";
+    case QpState::kRts: return "RTS";
+    case QpState::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+QueuePair::QueuePair(sim::Simulator& sim, Nic& nic, Qpn qpn, CompletionQueue& cq, QpConfig config)
+    : sim_(sim), nic_(nic), qpn_(qpn), cq_(cq), config_(config) {}
+
+void QueuePair::connect(Ipv4Addr remote_ip, Qpn remote_qpn, Psn our_start_psn, Psn expected_psn) {
+  remote_ip_ = remote_ip;
+  remote_qpn_ = remote_qpn;
+  send_psn_ = our_start_psn & kPsnMask;
+  expected_psn_ = expected_psn & kPsnMask;
+  state_ = QpState::kRts;
+  retry_count_ = 0;
+  credits_seen_ = static_cast<u8>(std::min<u32>(config_.max_send_wr, 31));
+}
+
+void QueuePair::set_error(WcStatus flush_status) {
+  if (state_ == QpState::kError) return;
+  state_ = QpState::kError;
+  retransmit_timer_.cancel();
+  // Flush everything outstanding, oldest first, as a real QP would.
+  for (auto& wqe : inflight_) complete(wqe, flush_status);
+  inflight_.clear();
+  for (auto& wqe : send_queue_) complete(wqe, WcStatus::kFlushed);
+  send_queue_.clear();
+  if (error_cb_) error_cb_(flush_status);
+}
+
+void QueuePair::reset() {
+  retransmit_timer_.cancel();
+  inflight_.clear();
+  send_queue_.clear();
+  inbound_write_.reset();
+  retry_count_ = 0;
+  msn_ = 0;
+  state_ = QpState::kReset;
+}
+
+u32 QueuePair::packets_for(const Wqe& wqe) const noexcept {
+  if (wqe.length == 0) return 1;
+  return (wqe.length + config_.mtu - 1) / config_.mtu;
+}
+
+Status QueuePair::post_write(u64 wr_id, Bytes data, u64 remote_vaddr, RKey rkey, bool signaled) {
+  if (state_ != QpState::kRts) {
+    return error(StatusCode::kFailedPrecondition, "QP not in RTS state");
+  }
+  if (send_queue_.size() + inflight_.size() >= config_.max_queued_wr) {
+    return error(StatusCode::kResourceExhausted, "send queue full");
+  }
+  Wqe wqe;
+  wqe.wr_id = wr_id;
+  wqe.kind = Opcode::kWriteOnly;
+  wqe.length = static_cast<u32>(data.size());
+  wqe.data = std::move(data);
+  wqe.remote_vaddr = remote_vaddr;
+  wqe.rkey = rkey;
+  wqe.signaled = signaled;
+  send_queue_.push_back(std::move(wqe));
+  pump_send_queue();
+  return Status::ok();
+}
+
+Status QueuePair::post_read(u64 wr_id, u64 remote_vaddr, RKey rkey, u32 len) {
+  if (state_ != QpState::kRts) {
+    return error(StatusCode::kFailedPrecondition, "QP not in RTS state");
+  }
+  if (send_queue_.size() + inflight_.size() >= config_.max_queued_wr) {
+    return error(StatusCode::kResourceExhausted, "send queue full");
+  }
+  Wqe wqe;
+  wqe.wr_id = wr_id;
+  wqe.kind = Opcode::kReadRequest;
+  wqe.length = len;
+  wqe.remote_vaddr = remote_vaddr;
+  wqe.rkey = rkey;
+  wqe.signaled = true;
+  send_queue_.push_back(std::move(wqe));
+  pump_send_queue();
+  return Status::ok();
+}
+
+void QueuePair::pump_send_queue() {
+  // The in-flight window respects both the local cap and the credits the
+  // responder last advertised; at least one message may always probe so a
+  // momentarily-drained responder cannot deadlock the connection.
+  const u32 window =
+      std::min<u32>(config_.max_send_wr, std::max<u32>(1, credits_seen_));
+  while (!send_queue_.empty() && inflight_.size() < window) {
+    Wqe wqe = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    const u32 npkts = packets_for(wqe);
+    wqe.first_psn = send_psn_;
+    wqe.last_psn = psn_add(send_psn_, npkts - 1);
+    send_psn_ = psn_add(send_psn_, npkts);
+    transmit_wqe(wqe);
+    inflight_.push_back(std::move(wqe));
+    ++messages_sent_;
+  }
+  if (!inflight_.empty() && !retransmit_timer_.pending()) arm_timer();
+}
+
+void QueuePair::transmit_wqe(const Wqe& wqe) {
+  const u32 npkts = packets_for(wqe);
+
+  if (wqe.kind == Opcode::kReadRequest) {
+    net::Packet p;
+    p.eth.src_mac = nic_.mac();
+    p.eth.dst_mac = 0;
+    p.ip.src = nic_.ip();
+    p.ip.dst = remote_ip_;
+    p.udp.src_port = static_cast<u16>(0xc000 | (qpn_ & 0x3fff));
+    p.bth.opcode = Opcode::kReadRequest;
+    p.bth.dest_qp = remote_qpn_;
+    p.bth.psn = wqe.first_psn;
+    p.bth.ack_request = true;
+    p.reth = Reth{wqe.remote_vaddr, wqe.rkey, wqe.length};
+    nic_.send_packet(std::move(p));
+    return;
+  }
+
+  // RDMA write: segment into MTU-sized packets with IBTA opcodes.
+  for (u32 i = 0; i < npkts; ++i) {
+    net::Packet p;
+    p.eth.src_mac = nic_.mac();
+    p.eth.dst_mac = 0;
+    p.ip.src = nic_.ip();
+    p.ip.dst = remote_ip_;
+    p.udp.src_port = static_cast<u16>(0xc000 | (qpn_ & 0x3fff));
+    p.bth.dest_qp = remote_qpn_;
+    p.bth.psn = psn_add(wqe.first_psn, i);
+
+    if (npkts == 1) {
+      p.bth.opcode = Opcode::kWriteOnly;
+    } else if (i == 0) {
+      p.bth.opcode = Opcode::kWriteFirst;
+    } else if (i == npkts - 1) {
+      p.bth.opcode = Opcode::kWriteLast;
+    } else {
+      p.bth.opcode = Opcode::kWriteMiddle;
+    }
+    if (carries_reth(p.bth.opcode)) {
+      p.reth = Reth{wqe.remote_vaddr, wqe.rkey, wqe.length};
+    }
+    p.bth.ack_request = is_last_or_only(p.bth.opcode);
+
+    const u64 offset = static_cast<u64>(i) * config_.mtu;
+    const u64 chunk = std::min<u64>(config_.mtu, wqe.length - offset);
+    p.payload.assign(wqe.data.begin() + static_cast<std::ptrdiff_t>(offset),
+                     wqe.data.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    nic_.send_packet(std::move(p));
+  }
+}
+
+void QueuePair::handle_packet(net::Packet packet) {
+  if (state_ == QpState::kError) return;
+  if (packet.is_ack()) {
+    handle_ack(packet);
+  } else if (packet.is_read_response()) {
+    handle_read_response(packet);
+  } else if (rdma::is_request(packet.bth.opcode)) {
+    handle_request(packet);
+  }
+}
+
+void QueuePair::handle_ack(const net::Packet& packet) {
+  if (!packet.aeth) return;
+  const Aeth& aeth = *packet.aeth;
+
+  if (aeth.is_nak) {
+    if (nak_cb_) nak_cb_(aeth.nak_code, packet.bth.psn);
+    if (state_ == QpState::kError || state_ == QpState::kReset) {
+      return;  // the NAK callback may have reset or errored the QP
+    }
+    if (aeth.nak_code == NakCode::kPsnSequenceError) {
+      // Go-back-N: the responder expected packet.bth.psn; resend everything
+      // outstanding from the oldest unacknowledged message.
+      ++retransmissions_;
+      for (const auto& wqe : inflight_) transmit_wqe(wqe);
+      arm_timer();
+    } else {
+      // Fatal NAK (access error etc.): the offending (oldest) WQE completes
+      // with an error and the QP enters the error state; this is what makes
+      // a P4CE leader notice a misbehaving/revoked connection (§III).
+      WcStatus status = aeth.nak_code == NakCode::kRemoteAccessError
+                            ? WcStatus::kRemoteAccessError
+                            : WcStatus::kFlushed;
+      if (!inflight_.empty()) {
+        complete(inflight_.front(), status);
+        inflight_.pop_front();
+      }
+      set_error(WcStatus::kFlushed);
+    }
+    return;
+  }
+
+  // Positive ACK with PSN p acknowledges every packet up to and including p
+  // (RDMA ACKs are cumulative / coalescable).
+  credits_seen_ = aeth.credits;
+  bool progressed = false;
+  while (!inflight_.empty()) {
+    Wqe& head = inflight_.front();
+    if (head.kind == Opcode::kReadRequest) break;  // reads complete via responses
+    if (psn_distance(head.last_psn, packet.bth.psn) < 0) break;  // not yet covered
+    complete(head, WcStatus::kSuccess);
+    inflight_.pop_front();
+    progressed = true;
+  }
+  if (progressed) retry_count_ = 0;
+  retransmit_timer_.cancel();
+  if (!inflight_.empty()) arm_timer();
+  pump_send_queue();
+}
+
+void QueuePair::handle_read_response(const net::Packet& packet) {
+  // Find the read this response belongs to. Responses arrive in order on the
+  // in-order network, so it is the oldest in-flight read covering the PSN.
+  auto it = std::find_if(inflight_.begin(), inflight_.end(), [&](const Wqe& w) {
+    return w.kind == Opcode::kReadRequest && psn_distance(w.first_psn, packet.bth.psn) >= 0 &&
+           psn_distance(packet.bth.psn, w.last_psn) >= 0;
+  });
+  if (it == inflight_.end()) return;  // stale/duplicate response
+  Wqe& wqe = *it;
+
+  const u64 offset = static_cast<u64>(psn_distance(wqe.first_psn, packet.bth.psn)) * config_.mtu;
+  if (wqe.data.size() < wqe.length) wqe.data.resize(wqe.length);
+  const u64 n = std::min<u64>(packet.payload.size(), wqe.length - offset);
+  std::copy_n(packet.payload.begin(), n, wqe.data.begin() + static_cast<std::ptrdiff_t>(offset));
+
+  if (packet.aeth) credits_seen_ = packet.aeth->credits;
+
+  if (packet.bth.psn == wqe.last_psn) {
+    // Read fully assembled. Reads ahead of it in the queue are still
+    // outstanding only if the responder reordered, which our in-order
+    // fabric never does; complete in queue order.
+    complete(wqe, WcStatus::kSuccess, std::move(wqe.data));
+    inflight_.erase(it);
+    retry_count_ = 0;
+    retransmit_timer_.cancel();
+    if (!inflight_.empty()) arm_timer();
+    pump_send_queue();
+  }
+}
+
+void QueuePair::complete(const Wqe& wqe, WcStatus status, Bytes read_data) {
+  if (!wqe.signaled && status == WcStatus::kSuccess) return;
+  Completion c;
+  c.wr_id = wqe.wr_id;
+  c.status = status;
+  c.opcode = wqe.kind;
+  c.byte_len = wqe.length;
+  c.qpn = qpn_;
+  c.read_data = std::move(read_data);
+  cq_.push(std::move(c));
+}
+
+void QueuePair::arm_timer() {
+  retransmit_timer_.cancel();
+  retransmit_timer_ = sim_.schedule(config_.retransmit_timeout, [this] { on_timeout(); });
+}
+
+void QueuePair::on_timeout() {
+  if (state_ != QpState::kRts || inflight_.empty()) return;
+  if (++retry_count_ > config_.max_retries) {
+    // Transport gave up: the peer (or the switch in between, §III-A
+    // "Faulty switch") is unreachable.
+    set_error(WcStatus::kRetryExceeded);
+    return;
+  }
+  ++retransmissions_;
+  for (const auto& wqe : inflight_) transmit_wqe(wqe);
+  arm_timer();
+}
+
+// --------------------------------------------------------------------------
+// Responder side
+// --------------------------------------------------------------------------
+
+net::Packet QueuePair::make_response_shell(Opcode op, Psn psn) const {
+  net::Packet p;
+  p.eth.src_mac = nic_.mac();
+  p.eth.dst_mac = 0;
+  p.ip.src = nic_.ip();
+  p.ip.dst = remote_ip_;
+  p.udp.src_port = static_cast<u16>(0xc000 | (qpn_ & 0x3fff));
+  p.bth.opcode = op;
+  p.bth.dest_qp = remote_qpn_;
+  p.bth.psn = psn;
+  return p;
+}
+
+void QueuePair::send_ack(Psn psn) {
+  net::Packet p = make_response_shell(Opcode::kAcknowledge, psn);
+  p.aeth = Aeth{.is_nak = false,
+                .nak_code = NakCode::kPsnSequenceError,
+                .credits = nic_.current_credits(),
+                .msn = msn_ & kPsnMask};
+  nic_.send_packet(std::move(p));
+}
+
+void QueuePair::send_nak(Psn psn, NakCode code) {
+  net::Packet p = make_response_shell(Opcode::kAcknowledge, psn);
+  p.aeth = Aeth{.is_nak = true, .nak_code = code, .credits = 0, .msn = msn_ & kPsnMask};
+  nic_.send_packet(std::move(p));
+}
+
+void QueuePair::handle_request(const net::Packet& packet) {
+  const i32 gap = psn_distance(expected_psn_, packet.bth.psn);
+  if (gap < 0) {
+    // Duplicate (retransmission we already executed). Writes are idempotent
+    // here because the requester retransmits identical data at identical
+    // addresses; just refresh the ACK so the requester can make progress.
+    if (is_last_or_only(packet.bth.opcode) && packet.bth.ack_request) {
+      send_ack(packet.bth.psn);
+    }
+    return;
+  }
+  if (gap > 0) {
+    // Missing packets: NAK with the PSN we expected (go-back-N point).
+    send_nak(expected_psn_, NakCode::kPsnSequenceError);
+    return;
+  }
+
+  switch (packet.bth.opcode) {
+    case Opcode::kWriteOnly:
+    case Opcode::kWriteFirst: {
+      if (!packet.reth) {
+        send_nak(packet.bth.psn, NakCode::kInvalidRequest);
+        return;
+      }
+      if (!allow_remote_write_) {
+        // The Mu permission mechanism: this peer is not the machine we
+        // currently accept writes from (not our leader).
+        send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
+        return;
+      }
+      const Status st = nic_.memory().remote_write(packet.reth->rkey, packet.reth->vaddr,
+                                                   packet.payload);
+      if (!st.is_ok()) {
+        send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
+        return;
+      }
+      if (packet.bth.opcode == Opcode::kWriteFirst) {
+        inbound_write_ = InboundWrite{
+            .vaddr = packet.reth->vaddr + packet.payload.size(),
+            .rkey = packet.reth->rkey,
+            .remaining = packet.reth->dma_len - static_cast<u32>(packet.payload.size())};
+      }
+      break;
+    }
+    case Opcode::kWriteMiddle:
+    case Opcode::kWriteLast: {
+      if (!inbound_write_) {
+        send_nak(packet.bth.psn, NakCode::kInvalidRequest);
+        return;
+      }
+      if (!allow_remote_write_) {
+        send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
+        return;
+      }
+      const Status st = nic_.memory().remote_write(inbound_write_->rkey, inbound_write_->vaddr,
+                                                   packet.payload);
+      if (!st.is_ok()) {
+        inbound_write_.reset();
+        send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
+        return;
+      }
+      inbound_write_->vaddr += packet.payload.size();
+      inbound_write_->remaining -= static_cast<u32>(packet.payload.size());
+      if (packet.bth.opcode == Opcode::kWriteLast) inbound_write_.reset();
+      break;
+    }
+    case Opcode::kReadRequest: {
+      if (!packet.reth) {
+        send_nak(packet.bth.psn, NakCode::kInvalidRequest);
+        return;
+      }
+      auto data = nic_.memory().remote_read(packet.reth->rkey, packet.reth->vaddr,
+                                            packet.reth->dma_len);
+      if (!data.is_ok()) {
+        send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
+        return;
+      }
+      const Bytes& bytes = data.value();
+      const u32 npkts = std::max<u32>(1, (static_cast<u32>(bytes.size()) + config_.mtu - 1) /
+                                             config_.mtu);
+      ++msn_;
+      ++messages_received_;
+      for (u32 i = 0; i < npkts; ++i) {
+        Opcode op;
+        if (npkts == 1) {
+          op = Opcode::kReadResponseOnly;
+        } else if (i == 0) {
+          op = Opcode::kReadResponseFirst;
+        } else if (i == npkts - 1) {
+          op = Opcode::kReadResponseLast;
+        } else {
+          op = Opcode::kReadResponseMiddle;
+        }
+        net::Packet resp = make_response_shell(op, psn_add(packet.bth.psn, i));
+        const u64 off = static_cast<u64>(i) * config_.mtu;
+        const u64 chunk = std::min<u64>(config_.mtu, bytes.size() - off);
+        resp.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                            bytes.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+        if (is_last_or_only(op)) {
+          resp.aeth = Aeth{.is_nak = false,
+                           .nak_code = NakCode::kPsnSequenceError,
+                           .credits = nic_.current_credits(),
+                           .msn = msn_ & kPsnMask};
+        }
+        nic_.send_packet(std::move(resp));
+      }
+      // A read of n response packets consumes n PSNs on the request stream.
+      expected_psn_ = psn_add(expected_psn_, npkts);
+      return;
+    }
+    default:
+      send_nak(packet.bth.psn, NakCode::kInvalidRequest);
+      return;
+  }
+
+  expected_psn_ = psn_add(expected_psn_, 1);
+  if (is_last_or_only(packet.bth.opcode)) {
+    ++msn_;
+    ++messages_received_;
+    if (packet.bth.ack_request) send_ack(packet.bth.psn);
+  }
+}
+
+}  // namespace p4ce::rdma

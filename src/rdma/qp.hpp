@@ -1,0 +1,186 @@
+// Reliable-connection (RC) queue pair state machine: MTU segmentation, PSN
+// sequencing, ACK/NAK generation and processing, credit-based flow control,
+// go-back-N retransmission with timeouts — the full transport P4CE's switch
+// has to stay transparent to.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/packet.hpp"
+#include "rdma/completion.hpp"
+#include "rdma/headers.hpp"
+#include "sim/simulator.hpp"
+
+namespace p4ce::rdma {
+
+class Nic;
+
+enum class QpState : u8 { kReset, kInit, kRtr, kRts, kError };
+
+std::string_view to_string(QpState s) noexcept;
+
+struct QpConfig {
+  u32 mtu = 1024;          ///< max payload bytes per packet (RoCE MTU)
+  u32 max_send_wr = 16;    ///< max in-flight messages ("up to 16 pending write
+                           ///< requests" on the paper's setup, §IV-C)
+  u32 max_queued_wr = 1u << 20;  ///< send-queue capacity before post fails
+  /// RDMA timeout; "timeout values can only take discrete values of the form
+  /// 4.096 x 2^x us"; the paper's cards use 131 us (§V-E).
+  Duration retransmit_timeout = 131'072;  // ns
+  u32 max_retries = 7;
+};
+
+/// Reliable-connection queue pair.
+///
+/// Requester side: post_write/post_read segment messages into packets,
+/// assign consecutive PSNs, respect the in-flight window (min of
+/// max_send_wr and the credits last advertised by the responder), complete
+/// work on ACK, go-back-N on NAK(sequence error) or timeout, and surface
+/// fatal errors (access NAK, retry exhaustion) as error completions plus a
+/// QP transition to the error state.
+///
+/// Responder side: validate PSNs (duplicate -> re-ACK, gap -> NAK), validate
+/// R_key/permissions/bounds through the NIC's memory manager, DMA the
+/// payload, and acknowledge with the NIC's current credit count.
+class QueuePair {
+ public:
+  QueuePair(sim::Simulator& sim, Nic& nic, Qpn qpn, CompletionQueue& cq, QpConfig config);
+
+  Qpn qpn() const noexcept { return qpn_; }
+  QpState state() const noexcept { return state_; }
+  const QpConfig& config() const noexcept { return config_; }
+
+  /// Connect this QP to its remote half: peer address, peer QPN, the PSN we
+  /// start sending with, and the first PSN we expect from the peer.
+  /// Transitions Reset -> RTS.
+  void connect(Ipv4Addr remote_ip, Qpn remote_qpn, Psn our_start_psn, Psn expected_psn);
+
+  Ipv4Addr remote_ip() const noexcept { return remote_ip_; }
+  Qpn remote_qpn() const noexcept { return remote_qpn_; }
+
+  /// Move to the error state, flushing all outstanding work requests.
+  void set_error(WcStatus flush_status);
+
+  /// Reset to a fresh connectable state (used when re-routing after a
+  /// switch failure).
+  void reset();
+
+  // --- Requester API (verbs-like) -------------------------------------
+
+  /// Post an RDMA write of `data` to remote [vaddr, vaddr+size).
+  Status post_write(u64 wr_id, Bytes data, u64 remote_vaddr, RKey rkey, bool signaled = true);
+
+  /// Post an RDMA read of `len` bytes from remote [vaddr, vaddr+len).
+  Status post_read(u64 wr_id, u64 remote_vaddr, RKey rkey, u32 len);
+
+  u32 inflight_messages() const noexcept { return static_cast<u32>(inflight_.size()); }
+  u32 queued_messages() const noexcept { return static_cast<u32>(send_queue_.size()); }
+
+  /// Credits the responder last advertised (paper Table I: "how many
+  /// requests the client may send to the server at this time").
+  u8 last_seen_credits() const noexcept { return credits_seen_; }
+
+  // --- Responder-side access control (Mu permission switching) --------
+
+  /// Whether inbound RDMA writes on this connection are honoured. Replicas
+  /// flip this so only the current leader can append to their log (§III).
+  void set_allow_remote_write(bool allow) noexcept { allow_remote_write_ = allow; }
+  bool allow_remote_write() const noexcept { return allow_remote_write_; }
+
+  // --- Dataplane entry point -------------------------------------------
+
+  /// Handle an inbound packet addressed to this QP (called by the NIC).
+  void handle_packet(net::Packet packet);
+
+  /// Invoked when the QP transitions to the error state (timeout / fatal
+  /// NAK). Used by P4CE to detect a dead switch and fall back.
+  void set_error_callback(std::function<void(WcStatus)> cb) { error_cb_ = std::move(cb); }
+
+  /// Invoked on every NAK this QP receives as a requester, fatal or not.
+  /// P4CE reverts to un-accelerated communication on the first NAK from the
+  /// switch ("when the switch receives a negative acknowledgment, it
+  /// unconditionally forwards it to the leader. P4CE then reverts to
+  /// un-accelerated communications", §III-A).
+  void set_nak_callback(std::function<void(NakCode, Psn)> cb) { nak_cb_ = std::move(cb); }
+
+  // --- Introspection ----------------------------------------------------
+
+  u64 retransmissions() const noexcept { return retransmissions_; }
+  u64 messages_sent() const noexcept { return messages_sent_; }
+  u64 messages_received() const noexcept { return messages_received_; }
+  Psn next_send_psn() const noexcept { return send_psn_; }
+  Psn expected_recv_psn() const noexcept { return expected_psn_; }
+
+ private:
+  struct Wqe {
+    u64 wr_id = 0;
+    Opcode kind = Opcode::kWriteOnly;  // kWriteOnly (any write) or kReadRequest
+    Bytes data;          // payload for writes; assembly buffer for reads
+    u64 remote_vaddr = 0;
+    RKey rkey = 0;
+    u32 length = 0;
+    bool signaled = true;
+    Psn first_psn = 0;
+    Psn last_psn = 0;
+  };
+
+  // Requester internals.
+  void pump_send_queue();
+  void transmit_wqe(const Wqe& wqe);
+  u32 packets_for(const Wqe& wqe) const noexcept;
+  void handle_ack(const net::Packet& packet);
+  void handle_read_response(const net::Packet& packet);
+  void complete(const Wqe& wqe, WcStatus status, Bytes read_data = {});
+  void fatal(WcStatus status);
+  void arm_timer();
+  void on_timeout();
+
+  // Responder internals.
+  void handle_request(const net::Packet& packet);
+  void send_ack(Psn psn);
+  void send_nak(Psn psn, NakCode code);
+  net::Packet make_response_shell(Opcode op, Psn psn) const;
+
+  sim::Simulator& sim_;
+  Nic& nic_;
+  Qpn qpn_;
+  CompletionQueue& cq_;
+  QpConfig config_;
+
+  QpState state_ = QpState::kReset;
+  Ipv4Addr remote_ip_ = 0;
+  Qpn remote_qpn_ = 0;
+
+  // Requester state.
+  std::deque<Wqe> send_queue_;   // posted, not yet transmitted
+  std::deque<Wqe> inflight_;     // transmitted, awaiting ACK (ordered by PSN)
+  Psn send_psn_ = 0;             // next PSN to assign
+  u8 credits_seen_ = 16;         // responder credits from the last AETH
+  u32 retry_count_ = 0;
+  u64 retransmissions_ = 0;
+  u64 messages_sent_ = 0;
+  sim::EventHandle retransmit_timer_;
+
+  // Responder state.
+  Psn expected_psn_ = 0;
+  u32 msn_ = 0;                  // messages completed as responder
+  bool allow_remote_write_ = true;
+  u64 messages_received_ = 0;
+  // In-progress multi-packet inbound write (context stashed from WriteFirst).
+  struct InboundWrite {
+    u64 vaddr = 0;
+    RKey rkey = 0;
+    u32 remaining = 0;
+  };
+  std::optional<InboundWrite> inbound_write_;
+
+  std::function<void(WcStatus)> error_cb_;
+  std::function<void(NakCode, Psn)> nak_cb_;
+};
+
+}  // namespace p4ce::rdma

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace p4ce::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{std::weak_ptr<bool>(alive)};
+  queue_.push(Event{when, next_seq_++, std::move(fn), std::move(alive)});
+  return handle;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is moved out via const_cast,
+  // which is safe because pop() immediately destroys the moved-from shell.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  if (*ev.alive) {
+    ++executed_;
+    ev.fn();
+  }
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace p4ce::sim

@@ -1,0 +1,134 @@
+// Discrete-event simulation kernel. Single-threaded, deterministic: events at
+// equal timestamps execute in schedule order (FIFO by sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace p4ce::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; allows cancellation (e.g. retransmit timers).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  void cancel() noexcept {
+    if (auto alive = alive_.lock()) *alive = false;
+  }
+
+  bool pending() const noexcept {
+    auto alive = alive_.lock();
+    return alive && *alive;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> alive) noexcept : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` ns from now (>= 0).
+  EventHandle schedule(Duration delay, EventFn fn) { return schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` at absolute simulated time `when` (>= now()).
+  EventHandle schedule_at(SimTime when, EventFn fn);
+
+  /// Run until the event queue drains or `stop()` is called.
+  void run();
+
+  /// Run events with timestamp <= `deadline`; afterwards now() == deadline
+  /// (unless stopped earlier).
+  void run_until(SimTime deadline);
+
+  /// Run for `span` more nanoseconds of simulated time.
+  void run_for(Duration span) { run_until(now_ + span); }
+
+  /// Stop the run loop after the current event returns.
+  void stop() noexcept { stopped_ = true; }
+
+  u64 events_executed() const noexcept { return executed_; }
+  bool empty() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    u64 seq;
+    EventFn fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();  // execute the earliest event; false if queue empty
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  u64 next_seq_ = 0;
+  u64 executed_ = 0;
+  bool stopped_ = false;
+};
+
+/// A repeating timer built on the kernel; reschedules itself until stopped.
+/// Used for heartbeats, liveness checks and re-acceleration probes.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Duration period, EventFn fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() noexcept {
+    running_ = false;
+    handle_.cancel();
+  }
+
+  bool running() const noexcept { return running_; }
+  Duration period() const noexcept { return period_; }
+  void set_period(Duration period) noexcept { period_ = period; }
+
+ private:
+  void arm() {
+    handle_ = sim_.schedule(period_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();
+    });
+  }
+
+  Simulator& sim_;
+  Duration period_;
+  EventFn fn_;
+  EventHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace p4ce::sim

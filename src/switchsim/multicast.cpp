@@ -1,0 +1,44 @@
+#include "switchsim/multicast.hpp"
+
+#include <algorithm>
+
+namespace p4ce::sw {
+
+const std::vector<McastCopy> MulticastEngine::kEmpty{};
+
+std::vector<McastCopy>* MulticastEngine::find(u32 group_id) noexcept {
+  auto it = std::find_if(groups_.begin(), groups_.end(),
+                         [&](const auto& g) { return g.first == group_id; });
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+Status MulticastEngine::create_group(u32 group_id, std::vector<McastCopy> copies) {
+  if (find(group_id) != nullptr) {
+    return error(StatusCode::kAlreadyExists, "multicast group exists");
+  }
+  groups_.emplace_back(group_id, std::move(copies));
+  return Status::ok();
+}
+
+Status MulticastEngine::update_group(u32 group_id, std::vector<McastCopy> copies) {
+  auto* g = find(group_id);
+  if (g == nullptr) return error(StatusCode::kNotFound, "no such multicast group");
+  *g = std::move(copies);
+  return Status::ok();
+}
+
+Status MulticastEngine::delete_group(u32 group_id) {
+  auto it = std::find_if(groups_.begin(), groups_.end(),
+                         [&](const auto& g) { return g.first == group_id; });
+  if (it == groups_.end()) return error(StatusCode::kNotFound, "no such multicast group");
+  groups_.erase(it);
+  return Status::ok();
+}
+
+const std::vector<McastCopy>& MulticastEngine::lookup(u32 group_id) const noexcept {
+  auto it = std::find_if(groups_.begin(), groups_.end(),
+                         [&](const auto& g) { return g.first == group_id; });
+  return it == groups_.end() ? kEmpty : it->second;
+}
+
+}  // namespace p4ce::sw

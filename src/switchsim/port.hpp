@@ -1,0 +1,84 @@
+// A switch port: the attachment point of a link plus the per-port ingress
+// and egress parsers. "Each server link has its own ingress and egress
+// parser" (paper Fig. 1), and each parser has a finite packet rate — 121 M
+// packets per second with the P4CE program loaded (§IV-D). That per-parser
+// limit is why P4CE drops aggregated ACKs in the *replica's ingress* instead
+// of funnelling them all through the leader's egress parser.
+#pragma once
+
+#include <functional>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/packet.hpp"
+
+namespace p4ce::sw {
+
+class SwitchDevice;
+
+/// Serial packet-rate resource with sub-nanosecond resolution (tracked in
+/// picoseconds so 121 M pps == 8.26 ns/packet models exactly).
+class ParserModel {
+ public:
+  explicit ParserModel(double packets_per_second) noexcept
+      : per_packet_ps_(static_cast<i64>(1e12 / packets_per_second)) {}
+
+  /// Admit one packet at `now`; returns the time its parse completes.
+  SimTime admit(SimTime now) noexcept {
+    const i64 now_ps = now * 1000;
+    const i64 start = busy_until_ps_ > now_ps ? busy_until_ps_ : now_ps;
+    busy_until_ps_ = start + per_packet_ps_;
+    ++processed_;
+    return (busy_until_ps_ + 999) / 1000;  // ceil to ns
+  }
+
+  u64 processed() const noexcept { return processed_; }
+  /// Current backlog in ns (how far behind real time the parser is).
+  Duration backlog(SimTime now) const noexcept {
+    const i64 b = busy_until_ps_ / 1000 - now;
+    return b > 0 ? b : 0;
+  }
+
+ private:
+  i64 per_packet_ps_;
+  i64 busy_until_ps_ = 0;
+  u64 processed_ = 0;
+};
+
+/// A physical port. Implements PacketSink so links can deliver straight into
+/// the switch with the port index attached.
+class Port : public net::PacketSink {
+ public:
+  Port(SwitchDevice& device, u32 index, double parser_pps);
+
+  void attach_link(net::Link* link, int end) noexcept {
+    link_ = link;
+    end_ = end;
+  }
+
+  void deliver(net::Packet packet) override;
+
+  /// Transmit a finished egress copy onto the wire.
+  void transmit(net::Packet packet);
+
+  u32 index() const noexcept { return index_; }
+  net::Link* link() const noexcept { return link_; }
+
+  ParserModel& ingress_parser() noexcept { return ingress_parser_; }
+  ParserModel& egress_parser() noexcept { return egress_parser_; }
+
+  u64 rx_packets() const noexcept { return rx_; }
+  u64 tx_packets() const noexcept { return tx_; }
+
+ private:
+  SwitchDevice& device_;
+  u32 index_;
+  net::Link* link_ = nullptr;
+  int end_ = 0;
+  ParserModel ingress_parser_;
+  ParserModel egress_parser_;
+  u64 rx_ = 0;
+  u64 tx_ = 0;
+};
+
+}  // namespace p4ce::sw

@@ -1,0 +1,124 @@
+#include "switchsim/switch.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace p4ce::sw {
+
+SwitchDevice::SwitchDevice(sim::Simulator& sim, std::string name, Ipv4Addr ip,
+                           SwitchConfig config)
+    : sim_(sim), name_(std::move(name)), ip_(ip), config_(config) {}
+
+u32 SwitchDevice::add_port() {
+  const u32 index = static_cast<u32>(ports_.size());
+  ports_.push_back(std::make_unique<Port>(*this, index, config_.parser_pps));
+  return index;
+}
+
+void SwitchDevice::on_port_rx(u32 port, net::Packet packet) {
+  if (!powered_ || program_ == nullptr) return;
+  // Per-port ingress parser: a finite packet rate, the §IV-D bottleneck.
+  const SimTime parsed = ports_[port]->ingress_parser().admit(sim_.now());
+  sim_.schedule_at(parsed + config_.ingress_latency,
+                   [this, port, p = std::move(packet)]() mutable {
+                     if (!powered_) return;
+                     PacketContext ctx;
+                     ctx.packet = std::move(p);
+                     ctx.ingress_port = port;
+                     run_ingress(std::move(ctx));
+                   });
+}
+
+void SwitchDevice::inject_from_cpu(net::Packet packet) {
+  if (!powered_ || program_ == nullptr) return;
+  sim_.schedule(config_.punt_latency, [this, p = std::move(packet)]() mutable {
+    if (!powered_) return;
+    PacketContext ctx;
+    ctx.packet = std::move(p);
+    ctx.ingress_port = kCpuPort;
+    run_ingress(std::move(ctx));
+  });
+}
+
+void SwitchDevice::run_ingress(PacketContext ctx) {
+  program_->ingress(ctx);
+  route(std::move(ctx));
+}
+
+void SwitchDevice::route(PacketContext ctx) {
+  if (ctx.drop) {
+    ++ingress_drops_;
+    return;
+  }
+  if (ctx.punt_to_cpu) {
+    ++punted_;
+    if (!cpu_handler_) return;
+    sim_.schedule(config_.punt_latency,
+                  [this, p = std::move(ctx.packet), port = ctx.ingress_port]() mutable {
+                    if (powered_ && cpu_handler_) cpu_handler_(std::move(p), port);
+                  });
+    return;
+  }
+  if (ctx.mcast_group) {
+    // Traffic manager: the replication engine produces one carbon copy per
+    // configured (port, rid) pair; "operating on packet replicas must be
+    // done in the egress" (§II-B).
+    const auto& copies = mcast_.lookup(*ctx.mcast_group);
+    if (copies.empty()) {
+      ++ingress_drops_;
+      return;
+    }
+    for (const auto& copy : copies) {
+      PacketContext replica = ctx;  // carbon copy
+      replica.egress_port = copy.egress_port;
+      replica.replication_id = copy.replication_id;
+      run_egress(std::move(replica));
+    }
+    return;
+  }
+  if (ctx.unicast_port) {
+    ctx.egress_port = *ctx.unicast_port;
+    ctx.replication_id = 0;
+    run_egress(std::move(ctx));
+    return;
+  }
+  ++ingress_drops_;  // no routing decision: drop
+}
+
+void SwitchDevice::run_egress(PacketContext ctx) {
+  if (ctx.egress_port >= ports_.size()) {
+    ++egress_drops_;
+    return;
+  }
+  const SimTime parsed = ports_[ctx.egress_port]->egress_parser().admit(sim_.now());
+  sim_.schedule_at(parsed + config_.egress_latency, [this, c = std::move(ctx)]() mutable {
+    if (!powered_) return;
+    program_->egress(c);
+    if (c.drop) {
+      ++egress_drops_;
+      return;
+    }
+    ports_[c.egress_port]->transmit(std::move(c.packet));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Port
+// ---------------------------------------------------------------------------
+
+Port::Port(SwitchDevice& device, u32 index, double parser_pps)
+    : device_(device), index_(index), ingress_parser_(parser_pps), egress_parser_(parser_pps) {}
+
+void Port::deliver(net::Packet packet) {
+  ++rx_;
+  device_.on_port_rx(index_, std::move(packet));
+}
+
+void Port::transmit(net::Packet packet) {
+  if (link_ == nullptr) return;
+  ++tx_;
+  link_->send(end_, std::move(packet));
+}
+
+}  // namespace p4ce::sw

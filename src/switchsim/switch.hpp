@@ -1,0 +1,96 @@
+// The programmable switch device: ports, pipeline scheduling, traffic
+// manager with replication engine, punt path to the control-plane CPU, and
+// packet injection from the CPU. The loaded PipelineProgram decides what the
+// switch *does*; this class models what the hardware *is*.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "switchsim/multicast.hpp"
+#include "switchsim/pipeline.hpp"
+#include "switchsim/port.hpp"
+
+namespace p4ce::sw {
+
+struct SwitchConfig {
+  /// Fixed match-action latency per gress (cut-through ASIC).
+  Duration ingress_latency = 200;  // ns
+  Duration egress_latency = 200;   // ns
+  /// Per-port parser packet rate: "each ingress and each egress parser can
+  /// process 121 million packets per second" with the P4CE program (§IV-D).
+  double parser_pps = 121e6;
+  /// Latency of punting a packet to the control-plane CPU (PCIe + driver).
+  Duration punt_latency = 10'000;  // ns
+};
+
+class SwitchDevice {
+ public:
+  SwitchDevice(sim::Simulator& sim, std::string name, Ipv4Addr ip, SwitchConfig config = {});
+
+  SwitchDevice(const SwitchDevice&) = delete;
+  SwitchDevice& operator=(const SwitchDevice&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  Ipv4Addr ip() const noexcept { return ip_; }
+  sim::Simulator& simulator() noexcept { return sim_; }
+  const SwitchConfig& config() const noexcept { return config_; }
+
+  /// Add a port; returns its index. Attach the link separately.
+  u32 add_port();
+  Port& port(u32 index) { return *ports_.at(index); }
+  u32 port_count() const noexcept { return static_cast<u32>(ports_.size()); }
+
+  /// Load the data-plane program (must outlive the switch's use of it).
+  void load_program(PipelineProgram* program) noexcept { program_ = program; }
+
+  MulticastEngine& multicast() noexcept { return mcast_; }
+
+  /// Handler for packets the data plane punts to the CPU.
+  void set_cpu_handler(std::function<void(net::Packet, u32 ingress_port)> handler) {
+    cpu_handler_ = std::move(handler);
+  }
+
+  /// Inject a control-plane-crafted packet; it traverses the normal ingress
+  /// pipeline as if it arrived on the CPU port.
+  void inject_from_cpu(net::Packet packet);
+
+  /// Crash-stop the switch: all processing ceases, packets blackhole, and
+  /// peers discover the failure through RDMA timeouts (§III-A).
+  void power_off() noexcept { powered_ = false; }
+  void power_on() noexcept { powered_ = true; }
+  bool powered() const noexcept { return powered_; }
+
+  // Called by ports.
+  void on_port_rx(u32 port, net::Packet packet);
+
+  u64 ingress_drops() const noexcept { return ingress_drops_; }
+  u64 egress_drops() const noexcept { return egress_drops_; }
+  u64 punted() const noexcept { return punted_; }
+
+ private:
+  void run_ingress(PacketContext ctx);
+  void route(PacketContext ctx);
+  void run_egress(PacketContext ctx);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  Ipv4Addr ip_;
+  SwitchConfig config_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  MulticastEngine mcast_;
+  PipelineProgram* program_ = nullptr;
+  std::function<void(net::Packet, u32)> cpu_handler_;
+  bool powered_ = true;
+  u64 ingress_drops_ = 0;
+  u64 egress_drops_ = 0;
+  u64 punted_ = 0;
+};
+
+}  // namespace p4ce::sw

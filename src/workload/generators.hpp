@@ -1,0 +1,59 @@
+// Workload generators driving a Cluster the way the paper's benchmarks
+// drive the testbed: closed-loop windows (max-throughput), batched writes
+// (goodput, Fig. 5), open-loop Poisson arrivals (latency vs throughput,
+// Fig. 6) and bursts (Fig. 7).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/cluster.hpp"
+
+namespace p4ce::workload {
+
+struct RunResult {
+  u64 operations = 0;       ///< consensus instances committed in the window
+  u64 failed = 0;
+  Duration elapsed = 0;     ///< measured window, ns
+  double ops_per_sec = 0;
+  double goodput_gbps = 0;  ///< value bytes per second, in GB/s (1e9)
+  double offered_ops_per_sec = 0;  ///< open loop only
+  double mean_latency_us = 0;
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+};
+
+/// Closed loop: keep `window` individual proposals outstanding; measure
+/// throughput and latency over `ops` operations after `warmup` operations.
+RunResult run_closed_loop(core::Cluster& cluster, u32 value_size, u32 window, u64 ops,
+                          u64 warmup);
+
+/// Doorbell-batched goodput (Fig. 5): each proposal carries `batch` values
+/// of `value_size` bytes replicated with a single RDMA write; `window`
+/// batches outstanding. Goodput counts value bytes only.
+RunResult run_batched_goodput(core::Cluster& cluster, u32 value_size, u32 batch, u32 window,
+                              u64 batches, u64 warmup);
+
+/// Open loop: Poisson arrivals at `rate` proposals/second for `duration` of
+/// simulated time (after `warmup_time`). Latency includes any queueing when
+/// the offered rate exceeds capacity.
+RunResult run_open_loop(core::Cluster& cluster, u32 value_size, double rate, Duration duration,
+                        Duration warmup_time);
+
+/// Bursts (Fig. 7): issue `burst` proposals back-to-back, wait until the
+/// whole burst commits, repeat. Reports the mean time from burst start to
+/// last commit.
+struct BurstResult {
+  double mean_burst_us = 0;
+  double p99_burst_us = 0;
+  u32 burst = 0;
+};
+BurstResult run_burst(core::Cluster& cluster, u32 value_size, u32 burst, u32 repeats);
+
+/// A window size that keeps in-flight packets within the switch's 256-PSN
+/// aggregation capacity (§IV-C) for a given write size.
+u32 safe_window(u64 write_bytes, u32 mtu = 1024, u32 want = 16);
+
+}  // namespace p4ce::workload

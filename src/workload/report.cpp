@@ -1,0 +1,55 @@
+#include "workload/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace p4ce::workload {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::printf("\n  %s\n", title_.c_str());
+  std::printf("  ");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%-*s  ", static_cast<int>(widths[i]), columns_[i].c_str());
+  }
+  std::printf("\n  ");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%s  ", std::string(widths[i], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    std::printf("  ");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void print_header(const std::string& experiment, const std::string& paper_claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace p4ce::workload

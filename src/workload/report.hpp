@@ -1,0 +1,32 @@
+// Plain-text table printing for the benchmark harness: every bench prints
+// the rows/series the paper's corresponding table or figure reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p4ce::workload {
+
+/// A fixed-width text table with a title and a caption line referencing the
+/// paper artefact it regenerates.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section heading for a bench binary.
+void print_header(const std::string& experiment, const std::string& paper_claim);
+
+}  // namespace p4ce::workload

@@ -1,0 +1,127 @@
+// Randomized fault-injection soak test: a 5-machine P4CE cluster under
+// continuous load with crashes of replicas, the leader, and the switch at
+// random times. Verifies the safety invariants that must survive anything:
+//
+//   1. Every proposal acknowledged as committed is delivered by every
+//      surviving machine (no committed value is ever lost).
+//   2. Deliveries are gapless, in-order sequence prefixes on every node.
+//   3. Terms only move forward.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+
+namespace p4ce {
+namespace {
+
+using core::Cluster;
+using core::ClusterOptions;
+
+class ChaosTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ChaosTest, CommittedValuesSurviveArbitraryCrashSchedules) {
+  Rng rng(GetParam());
+
+  ClusterOptions options;
+  options.machines = 5;
+  options.mode = consensus::Mode::kP4ce;
+  options.cal = consensus::Calibration::failover();
+  auto cluster = Cluster::create(options);
+  ASSERT_TRUE(cluster->start());
+
+  sim::Simulator& sim = cluster->sim();
+  std::set<u64> committed_seqs;
+  u64 proposals = 0;
+  u64 max_term_seen = 0;
+
+  // Continuous closed-ish load through whoever currently leads.
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [&, pump] {
+    consensus::Node* leader = cluster->leader();
+    if (leader != nullptr && leader->term() >= max_term_seen) {
+      max_term_seen = std::max(max_term_seen, leader->term());
+      ++proposals;
+      std::ignore = leader->propose(Bytes(64, static_cast<u8>(proposals)),
+                                    [&](Status st, u64 seq) {
+                                      if (st.is_ok()) committed_seqs.insert(seq);
+                                    });
+    }
+    sim.schedule(microseconds(20), [pump] { (*pump)(); });
+  };
+  (*pump)();
+
+  // Random fault schedule: up to two machine crashes (quorum of 5 survives)
+  // and possibly the switch, at random instants in the first 30 ms.
+  std::vector<u32> crashable = {0, 1, 2, 3, 4};
+  const u32 machine_crashes = 1 + static_cast<u32>(rng.next_below(2));
+  std::set<u32> killed;
+  for (u32 k = 0; k < machine_crashes; ++k) {
+    u32 victim;
+    do {
+      victim = static_cast<u32>(rng.next_below(5));
+    } while (killed.contains(victim));
+    killed.insert(victim);
+    const Duration when = 2'000'000 + static_cast<Duration>(rng.next_below(28'000'000));
+    sim.schedule(when, [&cluster, victim] { cluster->crash_node(victim); });
+  }
+  const bool kill_switch = rng.next_bool(0.5);
+  if (kill_switch) {
+    const Duration when = 2'000'000 + static_cast<Duration>(rng.next_below(28'000'000));
+    sim.schedule(when, [&cluster] { cluster->crash_switch(); });
+  }
+
+  // Run through the chaos, then give the system ample time to re-elect,
+  // re-route and repair.
+  cluster->run_for(milliseconds(35));
+  cluster->run_for(milliseconds(150));
+
+  // --- Invariants -----------------------------------------------------------
+
+  ASSERT_FALSE(committed_seqs.empty()) << "the cluster never committed anything";
+
+  // A leader must exist again (majority survives by construction).
+  consensus::Node* leader = cluster->leader();
+  ASSERT_NE(leader, nullptr) << "no leader after recovery (seed " << GetParam() << ")";
+  EXPECT_FALSE(killed.contains(leader->id()));
+
+  // Let the pump run a little more so post-recovery commits flow.
+  const u64 committed_before = committed_seqs.size();
+  cluster->run_for(milliseconds(5));
+  EXPECT_GT(committed_seqs.size(), committed_before)
+      << "cluster wedged: no commits after recovery";
+
+  // (1) + (2): every survivor delivered a gapless prefix covering every
+  // committed sequence number.
+  const u64 max_committed = *committed_seqs.rbegin();
+  cluster->run_for(milliseconds(20));  // drain deliveries
+  for (u32 i = 0; i < 5; ++i) {
+    if (killed.contains(i)) continue;
+    const u64 delivered = cluster->node(i).last_delivered_seq();
+    EXPECT_GE(delivered, max_committed)
+        << "node " << i << " lost committed entries (seed " << GetParam() << ")";
+  }
+
+  // (3): term moved forward iff the leader changed.
+  EXPECT_GE(leader->term(), 1u);
+  if (killed.contains(0u)) {
+    EXPECT_GT(leader->term(), 1u);
+  }
+
+  // Commit sequence numbers are nearly contiguous: each leadership
+  // disruption may abort up to one in-flight window of proposals whose
+  // sequence numbers were consumed but never acknowledged (they are still
+  // adopted into the recovered log; their clients simply saw a failure).
+  const u64 range = *committed_seqs.rbegin() - *committed_seqs.begin() + 1;
+  const u64 gaps = range - committed_seqs.size();
+  EXPECT_LE(gaps, 3u * consensus::Calibration().max_outstanding)
+      << "more committed-sequence gaps than crash-aborted windows can explain";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace
+}  // namespace p4ce

@@ -1,0 +1,131 @@
+// Multiple consensus groups in parallel on one switch (§IV-A: "the control
+// plane still listens for new ConnectRequest packets to create new parallel
+// connections, as P4CE supports multiple consensus groups in parallel").
+// Two (and three) independent replication domains share the programmable
+// switch; each gets its own BCast/Aggr queue pairs, multicast group and
+// registers, and neither leaks traffic into the other.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace p4ce {
+namespace {
+
+using core::Cluster;
+using core::ClusterOptions;
+
+std::unique_ptr<Cluster> make(u32 domains, u32 machines = 3,
+                              consensus::Mode mode = consensus::Mode::kP4ce) {
+  ClusterOptions options;
+  options.machines = machines;
+  options.domains = domains;
+  options.mode = mode;
+  auto cluster = Cluster::create(options);
+  EXPECT_TRUE(cluster->start());
+  return cluster;
+}
+
+TEST(MultiGroup, EachDomainElectsItsOwnLeader) {
+  auto cluster = make(2);
+  ASSERT_NE(cluster->leader(0), nullptr);
+  ASSERT_NE(cluster->leader(1), nullptr);
+  EXPECT_EQ(cluster->leader(0)->id(), 0u);
+  EXPECT_EQ(cluster->leader(1)->id(), 3u);  // lowest id of domain 1
+  EXPECT_TRUE(cluster->leader(0)->accelerated());
+  EXPECT_TRUE(cluster->leader(1)->accelerated());
+  EXPECT_EQ(cluster->control_plane().active_groups(), 2u);
+}
+
+TEST(MultiGroup, GroupsGetDisjointSwitchResources) {
+  auto cluster = make(2);
+  const p4::GroupSpec* g0 = cluster->dataplane().group_spec(0);
+  const p4::GroupSpec* g1 = cluster->dataplane().group_spec(1);
+  ASSERT_NE(g0, nullptr);
+  ASSERT_NE(g1, nullptr);
+  EXPECT_NE(g0->bcast_qpn, g1->bcast_qpn);
+  EXPECT_NE(g0->aggr_qpn, g1->aggr_qpn);
+  EXPECT_NE(g0->mcast_group_id, g1->mcast_group_id);
+  for (const auto& r0 : g0->replicas) {
+    for (const auto& r1 : g1->replicas) EXPECT_NE(r0.ip, r1.ip);
+  }
+}
+
+TEST(MultiGroup, DomainsReplicateIndependently) {
+  auto cluster = make(2);
+  std::vector<u64> delivered(6, 0);
+  for (u32 i = 0; i < 6; ++i) {
+    cluster->node(i).set_deliver([&delivered, i](const consensus::LogEntry&) {
+      ++delivered[i];
+    });
+  }
+  int ok0 = 0, ok1 = 0;
+  for (int k = 0; k < 40; ++k) {
+    std::ignore = cluster->leader(0)->propose(Bytes(64, 0xA0),
+                                              [&](Status st, u64) { ok0 += st.is_ok(); });
+  }
+  for (int k = 0; k < 25; ++k) {
+    std::ignore = cluster->leader(1)->propose(Bytes(64, 0xB1),
+                                              [&](Status st, u64) { ok1 += st.is_ok(); });
+  }
+  cluster->run_for(milliseconds(3));
+  EXPECT_EQ(ok0, 40);
+  EXPECT_EQ(ok1, 25);
+  // Domain 0 machines saw exactly domain 0's entries; same for domain 1.
+  for (u32 i = 0; i < 3; ++i) EXPECT_EQ(delivered[i], 40u) << "node " << i;
+  for (u32 i = 3; i < 6; ++i) EXPECT_EQ(delivered[i], 25u) << "node " << i;
+  // Per-group switch counters are similarly disjoint.
+  EXPECT_EQ(cluster->dataplane().group_stats(0).requests_scattered, 40u);
+  EXPECT_EQ(cluster->dataplane().group_stats(1).requests_scattered, 25u);
+}
+
+TEST(MultiGroup, FailuresAreContainedToTheirDomain) {
+  auto cluster = make(2);
+  // Kill domain 1's leader; domain 0 must not notice.
+  cluster->crash_node(3);
+  const SimTime deadline = cluster->now() + milliseconds(500);
+  while (cluster->leader(1) == nullptr && cluster->now() < deadline) {
+    cluster->run_for(milliseconds(1));
+  }
+  ASSERT_NE(cluster->leader(1), nullptr);
+  EXPECT_EQ(cluster->leader(1)->id(), 4u);
+  ASSERT_NE(cluster->leader(0), nullptr);
+  EXPECT_EQ(cluster->leader(0)->id(), 0u);
+  EXPECT_EQ(cluster->leader(0)->term(), 1u);  // domain 0 undisturbed
+
+  int ok = 0;
+  std::ignore = cluster->leader(0)->propose(Bytes(8, 1),
+                                            [&](Status st, u64) { ok += st.is_ok(); });
+  std::ignore = cluster->leader(1)->propose(Bytes(8, 1),
+                                            [&](Status st, u64) { ok += st.is_ok(); });
+  cluster->run_for(milliseconds(2));
+  EXPECT_EQ(ok, 2);
+}
+
+TEST(MultiGroup, ThreeDomainsOnOneSwitch) {
+  auto cluster = make(3);
+  EXPECT_EQ(cluster->control_plane().active_groups(), 3u);
+  int ok = 0;
+  for (u32 d = 0; d < 3; ++d) {
+    for (int k = 0; k < 10; ++k) {
+      std::ignore = cluster->leader(d)->propose(Bytes(64, static_cast<u8>(d)),
+                                                [&](Status st, u64) { ok += st.is_ok(); });
+    }
+  }
+  cluster->run_for(milliseconds(3));
+  EXPECT_EQ(ok, 30);
+}
+
+TEST(MultiGroup, MuDomainsShareTheSwitchAsPlainFabric) {
+  auto cluster = make(2, 3, consensus::Mode::kMu);
+  EXPECT_EQ(cluster->control_plane().active_groups(), 0u);
+  int ok = 0;
+  std::ignore = cluster->leader(0)->propose(Bytes(8, 1),
+                                            [&](Status st, u64) { ok += st.is_ok(); });
+  std::ignore = cluster->leader(1)->propose(Bytes(8, 1),
+                                            [&](Status st, u64) { ok += st.is_ok(); });
+  cluster->run_for(milliseconds(2));
+  EXPECT_EQ(ok, 2);
+}
+
+}  // namespace
+}  // namespace p4ce

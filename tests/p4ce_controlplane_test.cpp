@@ -1,0 +1,166 @@
+// Control-plane tests against a real switch + hosts: group setup from the
+// leader's ConnectRequest (§IV-A), virtual address/key advertisement, PSN
+// agreement, rejection paths, stale-group garbage collection, and the
+// membership-update service.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/cluster.hpp"
+
+namespace p4ce::p4 {
+namespace {
+
+using core::Cluster;
+using core::ClusterOptions;
+
+struct ControlPlaneFixture : ::testing::Test {
+  std::unique_ptr<Cluster> cluster;
+
+  void make(u32 machines) {
+    ClusterOptions options;
+    options.machines = machines;
+    options.mode = consensus::Mode::kP4ce;
+    cluster = Cluster::create(options);
+    ASSERT_TRUE(cluster->start());
+  }
+};
+
+TEST_F(ControlPlaneFixture, GroupSetUpFromLeaderConnect) {
+  make(3);
+  // The cluster's leader (node 0) connected through the CP during start().
+  EXPECT_EQ(cluster->control_plane().active_groups(), 1u);
+  ASSERT_TRUE(cluster->node(0).accelerated());
+  // The installed group matches the topology.
+  ASSERT_TRUE(cluster->dataplane().group_active(0));
+  const GroupSpec* spec = cluster->dataplane().group_spec(0);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->replicas.size(), 2u);
+  EXPECT_EQ(spec->f_needed, 1u);
+  EXPECT_EQ(spec->leader.ip, core::host_ip(0));
+  for (const auto& conn : spec->replicas) {
+    EXPECT_NE(conn.rkey, 0u);
+    EXPECT_NE(conn.vaddr, 0u);
+    EXPECT_GT(conn.buffer_len, 0u);
+    EXPECT_EQ(conn.psn_delta, 0u);  // CP advertised the leader's PSN
+  }
+  // The multicast group exists with one copy per replica, rid = index.
+  const auto& copies = cluster->primary_switch().multicast().lookup(spec->mcast_group_id);
+  ASSERT_EQ(copies.size(), 2u);
+  EXPECT_EQ(copies[0].replication_id, 0u);
+  EXPECT_EQ(copies[1].replication_id, 1u);
+}
+
+TEST_F(ControlPlaneFixture, FNeededIsMajorityMinusLeader) {
+  make(5);
+  const GroupSpec* spec = cluster->dataplane().group_spec(0);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->replicas.size(), 4u);
+  EXPECT_EQ(spec->f_needed, 2u);  // majority of 5 is 3 = leader + 2 replicas
+}
+
+TEST_F(ControlPlaneFixture, SetupTakesReconfigurationDelay) {
+  ClusterOptions options;
+  options.machines = 3;
+  options.mode = consensus::Mode::kP4ce;
+  cluster = Cluster::create(options);
+  ASSERT_TRUE(cluster->start());
+  // "Sending a ConnectRequest and waiting for the switch to reconfigure its
+  // dataplane takes 40 ms on average" (§V-E) — plus ~1 ms of election.
+  EXPECT_GE(cluster->now(), 40'000'000);
+  EXPECT_LE(cluster->now(), 50'000'000);
+}
+
+TEST_F(ControlPlaneFixture, GarbageCollectsOldLeadersGroup) {
+  make(3);
+  EXPECT_EQ(cluster->control_plane().active_groups(), 1u);
+  // Kill the leader; node 1 takes over and installs a new group; the stale
+  // group of node 0 (same replicas, older term) is collected.
+  cluster->crash_node(0);
+  const SimTime deadline = cluster->now() + milliseconds(500);
+  while (cluster->leader() == nullptr && cluster->now() < deadline) {
+    cluster->run_for(milliseconds(1));
+  }
+  ASSERT_NE(cluster->leader(), nullptr);
+  EXPECT_EQ(cluster->leader()->id(), 1u);
+  EXPECT_TRUE(cluster->leader()->accelerated());
+  EXPECT_EQ(cluster->control_plane().active_groups(), 1u);
+}
+
+TEST_F(ControlPlaneFixture, MembershipUpdateRemovesReplica) {
+  make(5);
+  consensus::Node& leader = cluster->node(0);
+  bool updated = false;
+  leader.set_on_membership_updated([&] { updated = true; });
+  cluster->crash_node(4);
+  const SimTime deadline = cluster->now() + milliseconds(500);
+  while (!updated && cluster->now() < deadline) cluster->run_for(milliseconds(1));
+  ASSERT_TRUE(updated);
+  const GroupSpec* spec = cluster->dataplane().group_spec(0);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->replicas.size(), 3u);
+  EXPECT_EQ(spec->f_needed, 2u);  // quorum requirement unchanged
+  for (const auto& conn : spec->replicas) EXPECT_NE(conn.ip, core::host_ip(4));
+  // Replication still works with the reduced group.
+  bool committed = false;
+  std::ignore = leader.propose(to_bytes("post-exclusion"),
+                               [&](Status st, u64) { committed = st.is_ok(); });
+  cluster->run_for(milliseconds(1));
+  EXPECT_TRUE(committed);
+}
+
+TEST(ControlPlaneRejects, LeaderWithNoReplicasIsRejected) {
+  // Drive the CP directly with a malformed request: empty replica list.
+  ClusterOptions options;
+  options.machines = 3;
+  options.mode = consensus::Mode::kP4ce;
+  auto cluster = Cluster::create(options);
+  ASSERT_TRUE(cluster->start());
+
+  auto& nic = cluster->host(0).nic;
+  GroupRequestData bad;
+  bad.leader_node_id = 0;
+  bad.term = 99;
+  Status status = Status::ok();
+  rdma::CompletionQueue cq;
+  auto& qp = nic.create_qp(cq, {});
+  nic.cm().connect(core::kPrimarySwitchIp, kServiceP4ceGroup, qp, bad.encode(),
+                   [&](StatusOr<rdma::CmAgent::ConnectResult> r) { status = r.status(); },
+                   /*timeout=*/milliseconds(200));
+  cluster->run_for(milliseconds(100));
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+}
+
+TEST(ControlPlaneRejects, ReplicaRefusalRejectsTheLeader) {
+  // A request naming a leader the replicas did not grant is refused by the
+  // replicas (their permission check) and the CP rejects the group.
+  ClusterOptions options;
+  options.machines = 3;
+  options.mode = consensus::Mode::kP4ce;
+  auto cluster = Cluster::create(options);
+  ASSERT_TRUE(cluster->start());
+
+  auto& nic = cluster->host(2).nic;  // node 2 pretends to lead without grants
+  GroupRequestData request;
+  request.leader_node_id = 2;
+  request.term = 1;
+  request.replica_ips = {core::host_ip(0), core::host_ip(1)};
+  Status status = Status::ok();
+  bool done = false;
+  rdma::CompletionQueue cq;
+  auto& qp = nic.create_qp(cq, {});
+  nic.cm().connect(core::kPrimarySwitchIp, kServiceP4ceGroup, qp, request.encode(),
+                   [&](StatusOr<rdma::CmAgent::ConnectResult> r) {
+                     status = r.status();
+                     done = true;
+                   },
+                   /*timeout=*/milliseconds(300));
+  const SimTime deadline = cluster->now() + milliseconds(400);
+  while (!done && cluster->now() < deadline) cluster->run_for(milliseconds(1));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  EXPECT_EQ(cluster->control_plane().active_groups(), 1u);  // only the real one
+}
+
+}  // namespace
+}  // namespace p4ce::p4

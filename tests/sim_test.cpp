@@ -1,0 +1,215 @@
+// Unit tests for the discrete-event kernel: ordering, cancellation,
+// deterministic ties, timers, and the serial CPU model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace p4ce::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedSchedulingFromEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10, [&] {
+    order.push_back(1);
+    sim.schedule(5, [&] { order.push_back(2); });
+  });
+  sim.schedule(20, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsSafe) {
+  Simulator sim;
+  EventHandle handle = sim.schedule(1, [] {});
+  sim.run();
+  handle.cancel();  // must not crash
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(10, [&] { ++count; });
+  sim.schedule(100, [&] { ++count; });
+  sim.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run_until(200);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule(2, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.schedule(5, [] {});
+  sim.run_for(10);
+  EXPECT_EQ(sim.now(), 10);
+  sim.run_for(10);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(PeriodicTimer, FiresRepeatedlyUntilStopped) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 10, [&] { ++fires; });
+  timer.start();
+  sim.run_until(55);
+  EXPECT_EQ(fires, 5);
+  timer.stop();
+  sim.run_until(200);
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimer, RestartAfterStop) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 10, [&] { ++fires; });
+  timer.start();
+  sim.run_until(25);
+  timer.stop();
+  timer.start();
+  sim.run_until(100);
+  EXPECT_EQ(fires, 2 + 7);
+}
+
+TEST(PeriodicTimer, StopFromWithinCallback) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 10, [&] {
+    if (++fires == 3) sim.stop();
+  });
+  timer.start();
+  sim.run();
+  timer.stop();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(CpuExecutor, SerializesTasks) {
+  Simulator sim;
+  CpuExecutor cpu(sim);
+  std::vector<SimTime> completions;
+  cpu.execute(100, [&] { completions.push_back(sim.now()); });
+  cpu.execute(100, [&] { completions.push_back(sim.now()); });
+  cpu.execute(50, [&] { completions.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], 100);
+  EXPECT_EQ(completions[1], 200);
+  EXPECT_EQ(completions[2], 250);
+  EXPECT_EQ(cpu.busy_time(), 250);
+  EXPECT_EQ(cpu.tasks_executed(), 3u);
+}
+
+TEST(CpuExecutor, BacklogReflectsQueuedWork) {
+  Simulator sim;
+  CpuExecutor cpu(sim);
+  cpu.execute(1000, [] {});
+  cpu.execute(1000, [] {});
+  EXPECT_EQ(cpu.backlog(), 2000);
+  sim.run_until(500);
+  EXPECT_EQ(cpu.backlog(), 1500);
+  sim.run();
+  EXPECT_EQ(cpu.backlog(), 0);
+}
+
+TEST(CpuExecutor, IdleGapsDoNotAccumulate) {
+  Simulator sim;
+  CpuExecutor cpu(sim);
+  cpu.execute(10, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 10);
+  // Schedule more work later; it starts at now, not at old busy_until.
+  sim.schedule(100, [&] { cpu.execute(10, [&] { EXPECT_EQ(sim.now(), 120); }); });
+  sim.run();
+  EXPECT_EQ(sim.now(), 120);
+}
+
+TEST(CpuExecutor, HaltDropsPendingTasks) {
+  Simulator sim;
+  CpuExecutor cpu(sim);
+  int ran = 0;
+  cpu.execute(10, [&] { ++ran; });
+  cpu.execute(10, [&] { ++ran; });
+  sim.run_until(15);
+  cpu.halt();
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  cpu.execute(10, [&] { ++ran; });  // ignored after halt
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+class EventStormTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventStormTest, ManyEventsAllExecuteInOrder) {
+  Simulator sim;
+  const int n = GetParam();
+  SimTime last = -1;
+  int executed = 0;
+  for (int i = 0; i < n; ++i) {
+    sim.schedule((i * 7919) % 1000, [&, i] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+      ++executed;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(executed, n);
+  EXPECT_EQ(sim.events_executed(), static_cast<u64>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EventStormTest, ::testing::Values(10, 1000, 50000));
+
+}  // namespace
+}  // namespace p4ce::sim
