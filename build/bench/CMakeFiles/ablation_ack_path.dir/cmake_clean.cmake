@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ack_path.dir/ablation_ack_path.cpp.o"
+  "CMakeFiles/ablation_ack_path.dir/ablation_ack_path.cpp.o.d"
+  "ablation_ack_path"
+  "ablation_ack_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ack_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_goodput.dir/fig5_goodput.cpp.o"
+  "CMakeFiles/fig5_goodput.dir/fig5_goodput.cpp.o.d"
+  "fig5_goodput"
+  "fig5_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

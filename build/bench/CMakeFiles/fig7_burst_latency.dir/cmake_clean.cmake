@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_burst_latency.dir/fig7_burst_latency.cpp.o"
+  "CMakeFiles/fig7_burst_latency.dir/fig7_burst_latency.cpp.o.d"
+  "fig7_burst_latency"
+  "fig7_burst_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_burst_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

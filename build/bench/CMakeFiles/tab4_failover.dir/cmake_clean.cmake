@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_failover.dir/tab4_failover.cpp.o"
+  "CMakeFiles/tab4_failover.dir/tab4_failover.cpp.o.d"
+  "tab4_failover"
+  "tab4_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

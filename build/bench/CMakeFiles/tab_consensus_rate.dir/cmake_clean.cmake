@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_consensus_rate.dir/tab_consensus_rate.cpp.o"
+  "CMakeFiles/tab_consensus_rate.dir/tab_consensus_rate.cpp.o.d"
+  "tab_consensus_rate"
+  "tab_consensus_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_consensus_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/p4ce.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/p4ce.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/common/stats.cpp.o.d"
+  "/root/repo/src/consensus/communicator.cpp" "src/CMakeFiles/p4ce.dir/consensus/communicator.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/consensus/communicator.cpp.o.d"
+  "/root/repo/src/consensus/heartbeat.cpp" "src/CMakeFiles/p4ce.dir/consensus/heartbeat.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/consensus/heartbeat.cpp.o.d"
+  "/root/repo/src/consensus/log.cpp" "src/CMakeFiles/p4ce.dir/consensus/log.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/consensus/log.cpp.o.d"
+  "/root/repo/src/consensus/node.cpp" "src/CMakeFiles/p4ce.dir/consensus/node.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/consensus/node.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/p4ce.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/group.cpp" "src/CMakeFiles/p4ce.dir/core/group.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/core/group.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/p4ce.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/p4ce.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/net/packet.cpp.o.d"
+  "/root/repo/src/p4ce/control_plane.cpp" "src/CMakeFiles/p4ce.dir/p4ce/control_plane.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/p4ce/control_plane.cpp.o.d"
+  "/root/repo/src/p4ce/dataplane.cpp" "src/CMakeFiles/p4ce.dir/p4ce/dataplane.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/p4ce/dataplane.cpp.o.d"
+  "/root/repo/src/rdma/cm.cpp" "src/CMakeFiles/p4ce.dir/rdma/cm.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/rdma/cm.cpp.o.d"
+  "/root/repo/src/rdma/headers.cpp" "src/CMakeFiles/p4ce.dir/rdma/headers.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/rdma/headers.cpp.o.d"
+  "/root/repo/src/rdma/memory.cpp" "src/CMakeFiles/p4ce.dir/rdma/memory.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/rdma/memory.cpp.o.d"
+  "/root/repo/src/rdma/nic.cpp" "src/CMakeFiles/p4ce.dir/rdma/nic.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/rdma/nic.cpp.o.d"
+  "/root/repo/src/rdma/qp.cpp" "src/CMakeFiles/p4ce.dir/rdma/qp.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/rdma/qp.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/p4ce.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/switchsim/multicast.cpp" "src/CMakeFiles/p4ce.dir/switchsim/multicast.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/switchsim/multicast.cpp.o.d"
+  "/root/repo/src/switchsim/switch.cpp" "src/CMakeFiles/p4ce.dir/switchsim/switch.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/switchsim/switch.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/p4ce.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/report.cpp" "src/CMakeFiles/p4ce.dir/workload/report.cpp.o" "gcc" "src/CMakeFiles/p4ce.dir/workload/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_heartbeat_test.dir/consensus_heartbeat_test.cpp.o"
+  "CMakeFiles/consensus_heartbeat_test.dir/consensus_heartbeat_test.cpp.o.d"
+  "consensus_heartbeat_test"
+  "consensus_heartbeat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_heartbeat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

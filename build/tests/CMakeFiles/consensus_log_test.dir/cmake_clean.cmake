@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_log_test.dir/consensus_log_test.cpp.o"
+  "CMakeFiles/consensus_log_test.dir/consensus_log_test.cpp.o.d"
+  "consensus_log_test"
+  "consensus_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

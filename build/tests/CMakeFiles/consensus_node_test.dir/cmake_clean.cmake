@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_node_test.dir/consensus_node_test.cpp.o"
+  "CMakeFiles/consensus_node_test.dir/consensus_node_test.cpp.o.d"
+  "consensus_node_test"
+  "consensus_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

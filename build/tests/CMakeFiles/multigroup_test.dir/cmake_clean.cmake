@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigroup_test.dir/multigroup_test.cpp.o"
+  "CMakeFiles/multigroup_test.dir/multigroup_test.cpp.o.d"
+  "multigroup_test"
+  "multigroup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4ce_dataplane_test.dir/p4ce_dataplane_test.cpp.o"
+  "CMakeFiles/p4ce_dataplane_test.dir/p4ce_dataplane_test.cpp.o.d"
+  "p4ce_dataplane_test"
+  "p4ce_dataplane_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4ce_dataplane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_cm_test.dir/rdma_cm_test.cpp.o"
+  "CMakeFiles/rdma_cm_test.dir/rdma_cm_test.cpp.o.d"
+  "rdma_cm_test"
+  "rdma_cm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_cm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_memory_test.dir/rdma_memory_test.cpp.o"
+  "CMakeFiles/rdma_memory_test.dir/rdma_memory_test.cpp.o.d"
+  "rdma_memory_test"
+  "rdma_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

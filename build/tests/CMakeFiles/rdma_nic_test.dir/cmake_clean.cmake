@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_nic_test.dir/rdma_nic_test.cpp.o"
+  "CMakeFiles/rdma_nic_test.dir/rdma_nic_test.cpp.o.d"
+  "rdma_nic_test"
+  "rdma_nic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

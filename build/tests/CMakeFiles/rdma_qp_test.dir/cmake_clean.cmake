@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_qp_test.dir/rdma_qp_test.cpp.o"
+  "CMakeFiles/rdma_qp_test.dir/rdma_qp_test.cpp.o.d"
+  "rdma_qp_test"
+  "rdma_qp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_qp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
