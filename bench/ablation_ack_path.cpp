@@ -100,6 +100,7 @@ double aggregate_mpps(p4::AckDropStage stage, u32 replicas) {
 }  // namespace
 
 int main() {
+  workload::BenchSession session("ablation_ack_path");
   workload::print_header(
       "Ablation §IV-D: where surplus gathered ACKs are dropped",
       "drop-in-leader-egress caps aggregation at 121 Mpps total; drop-in-replica-ingress "
@@ -116,6 +117,7 @@ int main() {
                    workload::Table::fmt(replicas * 121.0, 0)});
   }
   table.print();
+  session.add_table(table);
   std::printf(
       "\nExpected shape: egress mode pinned near 121 Mpps regardless of replicas (one\n"
       "parser funnels everything); ingress mode scales ~linearly with replicas.\n");

@@ -84,6 +84,7 @@ void add_row(workload::Table& table, const char* label, const Result& r) {
 }  // namespace
 
 int main() {
+  workload::BenchSession session("ablation_flow_control");
   workload::print_header(
       "Ablation §IV-C: min-credit aggregation vs forwarding the f-th ACK's credits",
       "without aggregation \"the credit count of the slowest replicas would likely be "
@@ -98,6 +99,7 @@ int main() {
   add_row(table, "min across replicas", with);
   add_row(table, "f-th ACK only (ablated)", without);
   table.print();
+  session.add_table(table);
   std::printf(
       "\nExpected shape: aggregation lets the leader throttle as the hiccuping card's\n"
       "credits collapse, shrinking the overflow burst; the ablated switch keeps\n"

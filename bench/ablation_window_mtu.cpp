@@ -40,6 +40,7 @@ workload::RunResult run_with(u32 window, u32 mtu, u32 value_size, u32 batch) {
 }  // namespace
 
 int main() {
+  workload::BenchSession session("ablation_window_mtu");
   workload::print_header(
       "Ablation §IV-C: in-flight window and MTU sizing",
       "16 pending writes saturate the pipe; 256 aggregation slots are ample headroom; "
@@ -55,6 +56,7 @@ int main() {
                      workload::Table::fmt(result.p50_latency_us, 1), std::to_string(window)});
     }
     table.print();
+    session.add_table(table);
   }
 
   {
@@ -72,6 +74,7 @@ int main() {
                      std::to_string(packets), workload::Table::fmt(overhead, 1) + "%"});
     }
     table.print();
+    session.add_table(table);
   }
 
   std::printf(

@@ -40,6 +40,7 @@ double measure(consensus::Mode mode, u32 machines, u32 value_size) {
 }  // namespace
 
 int main() {
+  workload::BenchSession session("fig5_goodput");
   workload::print_header(
       "Figure 5: write goodput vs item size",
       "P4CE ~2x Mu at 2 replicas, ~4x at 4; line speed (11 GB/s) above ~500 B values");
@@ -56,6 +57,7 @@ int main() {
                      workload::Table::fmt(mu > 0 ? p4 / mu : 0, 1) + "x"});
     }
     table.print();
+    session.add_table(table);
   }
   std::printf(
       "\nExpected shape: Mu capped at link/n by the leader dividing its capacity between\n"

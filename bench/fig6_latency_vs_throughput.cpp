@@ -29,6 +29,7 @@ std::unique_ptr<core::Cluster> make(consensus::Mode mode, u32 machines) {
 }  // namespace
 
 int main() {
+  workload::BenchSession session("fig6_latency_vs_throughput");
   workload::print_header(
       "Figure 6: latency vs offered throughput, 64 B requests",
       "P4CE ~10% lower latency below saturation; Mu saturates at 1.2 M/s (2 repl.) / "
@@ -54,6 +55,7 @@ int main() {
                      workload::Table::fmt(p4.ops_per_sec / 1e6)});
     }
     table.print();
+    session.add_table(table);
   }
   std::printf(
       "\nExpected shape: both flat and close at low load (P4CE slightly lower); Mu's\n"

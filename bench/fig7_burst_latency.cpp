@@ -29,6 +29,7 @@ workload::BurstResult measure(consensus::Mode mode, u32 machines, u32 burst) {
 }  // namespace
 
 int main() {
+  workload::BenchSession session("fig7_burst_latency");
   workload::print_header(
       "Figure 7: burst latency, 64 B requests",
       "Mu CPU-limited beyond ~10 in-flight consensus; P4CE latency ~half of Mu's at "
@@ -48,6 +49,7 @@ int main() {
                                               : 0, 2) + "x"});
     }
     table.print();
+    session.add_table(table);
   }
   std::printf(
       "\nExpected shape: equal-ish at burst 1; the gap widens with burst size as Mu's\n"

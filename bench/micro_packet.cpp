@@ -8,6 +8,7 @@
 #include "p4ce/dataplane.hpp"
 #include "sim/simulator.hpp"
 #include "switchsim/register.hpp"
+#include "workload/report.hpp"
 
 using namespace p4ce;
 
@@ -145,4 +146,11 @@ BENCHMARK(BM_EventQueue);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  workload::BenchSession session("micro_packet");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

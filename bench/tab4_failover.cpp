@@ -102,6 +102,7 @@ double switch_crash_ms(consensus::Mode mode) {
 }  // namespace
 
 int main() {
+  workload::BenchSession session("tab4_failover");
   workload::print_header("Table IV: average fail-over times",
                          "replica: 0.1 / 40.1 ms; leader: 0.9 / 40.9 ms; switch: 60 / 60 ms");
 
@@ -116,6 +117,7 @@ int main() {
   table.add_row({"Crashed switch", workload::Table::fmt(switch_crash_ms(consensus::Mode::kMu), 1),
                  "60", workload::Table::fmt(switch_crash_ms(consensus::Mode::kP4ce), 1), "60"});
   table.print();
+  session.add_table(table);
 
   std::printf(
       "\nExpected shape: P4CE adds the ~40 ms switch reconfiguration to replica/leader\n"

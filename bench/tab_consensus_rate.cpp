@@ -26,6 +26,7 @@ double measure(consensus::Mode mode, u32 machines, u64 ops) {
 }  // namespace
 
 int main() {
+  workload::BenchSession session("tab_consensus_rate");
   workload::print_header(
       "Consensus rate, 64 B values (paper §V-C, text)",
       "P4CE 2.3 M consensus/s; 1.9x over Mu with 2 replicas, ~3.8x with 4 replicas");
@@ -42,6 +43,7 @@ int main() {
                    replicas == 2 ? "1.9x" : "3.8x"});
   }
   table.print();
+  session.add_table(table);
   std::printf("\nExpected shape: P4CE ~2.3 M/s regardless of replicas; Mu divided by n.\n");
   return 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the regular build + full test suite, then the test
+# suite again under AddressSanitizer + UBSan (separate build tree).
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+sanitize=1
+[[ "${1:-}" == "--no-sanitize" ]] && sanitize=0
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$sanitize" == 1 ]]; then
+  echo "== asan/ubsan: build + ctest =="
+  cmake -B build-asan -S . -DP4CE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j "$jobs" --target \
+    common_test obs_test sim_test net_test rdma_memory_test rdma_qp_test \
+    rdma_cm_test switch_test p4ce_dataplane_test p4ce_controlplane_test \
+    consensus_log_test consensus_node_test e2e_test
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+    -R 'common_test|obs_test|sim_test|net_test|rdma_memory_test|rdma_qp_test|rdma_cm_test|switch_test|p4ce_dataplane_test|p4ce_controlplane_test|consensus_log_test|consensus_node_test|e2e_test'
+fi
+
+echo "== check.sh: all green =="

@@ -1,6 +1,8 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 
 namespace p4ce {
 
@@ -22,6 +24,41 @@ constexpr const char* level_name(LogLevel l) noexcept {
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+bool parse_log_level(std::string_view name, LogLevel& out) noexcept {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (char c : name) lowered += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    if (lowered == to_string(level)) {
+      out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool set_log_level_from_env(const char* var) {
+  const char* value = std::getenv(var);
+  if (value == nullptr) return false;
+  LogLevel level;
+  if (!parse_log_level(value, level)) return false;
+  set_log_level(level);
+  return true;
+}
 
 namespace detail {
 void log_line(LogLevel level, SimTime now, std::string_view component, const std::string& message) {

@@ -13,8 +13,20 @@ namespace p4ce {
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Process-wide log threshold; default Warn so tests and benches stay quiet.
+/// Reads and writes are atomic, so concurrent bench setup is race-free.
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+/// Canonical name of a level ("trace" ... "off").
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Parse a level name ("trace", "debug", "info", "warn", "error", "off",
+/// case-insensitive); returns false and leaves `out` untouched on bad input.
+bool parse_log_level(std::string_view name, LogLevel& out) noexcept;
+
+/// Apply the level named by the environment variable `var` (default
+/// P4CE_LOG) if it is set and valid; returns true when a level was applied.
+bool set_log_level_from_env(const char* var = "P4CE_LOG");
 
 namespace detail {
 void log_line(LogLevel level, SimTime now, std::string_view component, const std::string& message);

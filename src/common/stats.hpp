@@ -100,7 +100,9 @@ class GoodputMeter {
 
   u64 bytes() const noexcept { return bytes_; }
   u64 operations() const noexcept { return ops_; }
-  Duration elapsed() const noexcept { return stop_ - start_; }
+  /// Measured window length, clamped at zero when stop() was never called
+  /// (or was called with a time before start()).
+  Duration elapsed() const noexcept { return stop_ > start_ ? stop_ - start_ : 0; }
 
   /// Gigabytes (1e9 bytes) of payload per second.
   double gigabytes_per_second() const noexcept {

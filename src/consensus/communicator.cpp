@@ -4,8 +4,25 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace p4ce::consensus {
+
+namespace {
+struct CommMetrics {
+  obs::Counter& fallbacks;
+  obs::Counter& reaccelerations;
+
+  static CommMetrics& get() {
+    static CommMetrics m{
+        obs::MetricsRegistry::global().counter("consensus.fallbacks"),
+        obs::MetricsRegistry::global().counter("consensus.reaccelerations"),
+    };
+    return m;
+  }
+};
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // CommitSequencer
@@ -87,12 +104,19 @@ void MuCommunicator::replicate(u64 offset, Bytes entry, u64 seq, DoneFn done) {
   // capacity by the number of replicas" also costs it CPU (§I, §V-C).
   // Targets are addressed by index: reset_targets() may replace the vector
   // while these posts sit in the CPU queue.
+  const SimTime t_replicate = sim_.now();
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     if (targets_[i].excluded || targets_[i].qp == nullptr) continue;
-    cpu_.execute(cal_.cpu_post_wr, [this, i, offset, entry, seq] {
+    cpu_.execute(cal_.cpu_post_wr, [this, i, offset, entry, seq, t_replicate] {
       if (i >= targets_.size()) return;
       ReplicaTarget& target = targets_[i];
       if (target.excluded || target.qp == nullptr) return;
+      if (obs::Tracer::is_enabled()) {
+        // One CPU-serialized post per replica: this per-target span is the
+        // leader-capacity division the P4CE scatter removes (§V-C).
+        obs::Tracer::global().span(seq, "leader.post", t_replicate, sim_.now(), "replica",
+                                   target.id);
+      }
       const Status st =
           target.qp->post_write(seq, entry, target.log_vaddr + offset, target.log_rkey);
       if (!st.is_ok()) {
@@ -113,6 +137,9 @@ void MuCommunicator::on_completion(std::size_t target_index, const rdma::Complet
     }
     return;
   }
+  if (obs::Tracer::is_enabled()) {
+    obs::Tracer::global().on_ack(c.wr_id, sim_.now(), target.id);
+  }
   // Aggregating the replicas' ACKs on the leader CPU: the work the P4CE
   // switch absorbs in-network.
   cpu_.execute(cal_.cpu_completion + cal_.cpu_mu_track, [this, seq = c.wr_id] {
@@ -120,6 +147,7 @@ void MuCommunicator::on_completion(std::size_t target_index, const rdma::Complet
     if (it == pending_.end()) return;
     if (++it->second.acks >= f_needed_ && !it->second.resolved) {
       it->second.resolved = true;
+      if (obs::Tracer::is_enabled()) obs::Tracer::global().on_quorum(seq, sim_.now());
       sequencer_.mark_ready(seq, Status::ok());
     }
     if (it->second.acks >= live_target_count()) pending_.erase(it);
@@ -264,9 +292,19 @@ void P4ceCommunicator::replicate(u64 offset, Bytes entry, u64 seq, DoneFn done) 
   }
 
   accel_pending_.emplace(seq, AccelOp{offset, entry, nullptr});
+  const SimTime t_replicate = sim_.now();
   // One post, one future completion: the whole point of the design.
-  cpu_.execute(cal_.cpu_post_wr, [this, offset, entry = std::move(entry), seq] {
+  cpu_.execute(cal_.cpu_post_wr, [this, offset, entry = std::move(entry), seq, t_replicate] {
     if (state_ != State::kAccelerated || switch_qp_ == nullptr) return;  // replayed by fallback
+    if (obs::Tracer::is_enabled()) {
+      auto& tracer = obs::Tracer::global();
+      // Register the PSN range this write will occupy so the switch-side
+      // hooks can attribute its scatter/gather packets to this instance.
+      const u32 npkts =
+          entry.empty() ? 1 : (static_cast<u32>(entry.size()) + cal_.mtu - 1) / cal_.mtu;
+      tracer.map_wire(seq, switch_qp_->planned_next_psn(), npkts);
+      tracer.span(seq, "leader.post", t_replicate, sim_.now());
+    }
     const Status st =
         switch_qp_->post_write(seq, std::move(entry), virtual_base_ + offset, virtual_rkey_);
     if (!st.is_ok()) enter_fallback();
@@ -280,11 +318,18 @@ void P4ceCommunicator::on_switch_completion(const rdma::Completion& c) {
     if (state_ == State::kAccelerated) enter_fallback();
     return;
   }
-  cpu_.execute(cal_.cpu_completion, [this, seq = c.wr_id] {
+  const SimTime t_ack = sim_.now();
+  if (obs::Tracer::is_enabled()) {
+    obs::Tracer::global().instant(c.wr_id, "leader.ack_rx", t_ack);
+  }
+  cpu_.execute(cal_.cpu_completion, [this, seq = c.wr_id, t_ack] {
     auto it = accel_pending_.find(seq);
     if (it == accel_pending_.end()) return;
     accel_pending_.erase(it);
     ++accel_ops_;
+    if (obs::Tracer::is_enabled()) {
+      obs::Tracer::global().span(seq, "commit.cpu", t_ack, sim_.now());
+    }
     sequencer_.mark_ready(seq, Status::ok());
   });
 }
@@ -294,6 +339,7 @@ void P4ceCommunicator::enter_fallback() {
   state_ = State::kFallback;
   if (fallbacks_ == 0) accel_ops_at_first_fallback_ = accel_ops_;
   ++fallbacks_;
+  CommMetrics::get().fallbacks.inc();
   // Silence the accelerated QP: everything outstanding is replayed over the
   // direct connections below, and its go-back-N must not keep fighting.
   if (switch_qp_ != nullptr) switch_qp_->reset();
@@ -319,6 +365,7 @@ void P4ceCommunicator::enter_fallback() {
 void P4ceCommunicator::probe_reacceleration() {
   if (state_ != State::kFallback) return;
   ++reaccelerations_;
+  CommMetrics::get().reaccelerations.inc();
   activate(term_, nullptr);
 }
 

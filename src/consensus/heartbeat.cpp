@@ -2,7 +2,24 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace p4ce::consensus {
+
+namespace {
+struct HbMetrics {
+  obs::Counter& misses;
+  obs::Counter& recoveries;
+
+  static HbMetrics& get() {
+    static HbMetrics m{
+        obs::MetricsRegistry::global().counter("consensus.heartbeat.misses"),
+        obs::MetricsRegistry::global().counter("consensus.heartbeat.recoveries"),
+    };
+    return m;
+  }
+};
+}  // namespace
 
 HeartbeatMonitor::HeartbeatMonitor(sim::Simulator& sim, rdma::MemoryRegion& own_counter,
                                    u32 peer_count, const Calibration& cal, ReadPeerFn read_peer,
@@ -45,6 +62,7 @@ void HeartbeatMonitor::check_peers() {
     if (peer.alive && now - peer.last_progress > cal_.liveness_timeout) {
       peer.alive = false;
       changed = true;
+      HbMetrics::get().misses.inc();
     }
   }
   if (changed && view_changed_) view_changed_();
@@ -57,6 +75,7 @@ void HeartbeatMonitor::on_read(u32 peer_index, u64 value) {
     peer.last_progress = sim_.now();
     if (!peer.alive && !frozen_) {
       peer.alive = true;
+      HbMetrics::get().recoveries.inc();
       if (view_changed_) view_changed_();
     }
   }

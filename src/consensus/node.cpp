@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "p4ce/tables.hpp"
 
 namespace p4ce::consensus {
@@ -16,6 +18,35 @@ constexpr u16 kServiceDirectData = 0x14;
 Duration memcpy_cost(u64 bytes, double gbps) noexcept {
   return static_cast<Duration>(static_cast<double>(bytes) / gbps);
 }
+
+// Process-wide consensus metrics (all nodes fold into the same series; the
+// single leader dominates them in steady state).
+struct NodeMetrics {
+  obs::Counter& proposals;
+  obs::Counter& commits;
+  obs::Counter& commit_failures;
+  LatencyHistogram& commit_latency;
+  obs::Counter& elections;
+  obs::Counter& view_changes;
+  obs::Counter& exclusions;
+  obs::Counter& repairs;
+  obs::Counter& reroutes;
+
+  static NodeMetrics& get() {
+    static NodeMetrics m{
+        obs::MetricsRegistry::global().counter("consensus.proposals"),
+        obs::MetricsRegistry::global().counter("consensus.commits"),
+        obs::MetricsRegistry::global().counter("consensus.commit_failures"),
+        obs::MetricsRegistry::global().histogram("consensus.commit_latency_ns"),
+        obs::MetricsRegistry::global().counter("consensus.elections"),
+        obs::MetricsRegistry::global().counter("consensus.view_changes"),
+        obs::MetricsRegistry::global().counter("consensus.replica_exclusions"),
+        obs::MetricsRegistry::global().counter("consensus.log_repairs"),
+        obs::MetricsRegistry::global().counter("consensus.reroutes"),
+    };
+    return m;
+  }
+};
 }  // namespace
 
 Node::Node(sim::Simulator& sim, rdma::Nic& nic, rdma::MemoryManager& memory,
@@ -340,6 +371,7 @@ void Node::reevaluate_view() {
 
 void Node::on_peer_died(u32 peer_index) {
   const NodeId dead = peers_[peer_index].id;
+  NodeMetrics::get().exclusions.inc();
   if (leader_active_ && communicator_ != nullptr) {
     // "the leader simply excludes the replica" (Mu) / asks the switch CP to
     // reprogram the group (P4CE, +40 ms).
@@ -349,6 +381,7 @@ void Node::on_peer_died(u32 peer_index) {
 }
 
 void Node::start_campaign() {
+  NodeMetrics::get().elections.inc();
   campaigning_ = true;
   campaign_term_ = term_ + 1;
   grants_.clear();
@@ -594,6 +627,7 @@ void Node::recover_and_activate() {
 }
 
 void Node::finish_recovery(u64 max_seq, u64 tail_offset) {
+  NodeMetrics::get().view_changes.inc();
   writer_->set_cursor(std::max(tail_offset, reader_->cursor()));
   next_seq_ = std::max(next_seq_, max_seq + 1);
   next_seq_ = std::max(next_seq_, reader_->last_seq() + 1);
@@ -651,9 +685,12 @@ Status Node::propose(Bytes value, CommitFn done) {
   if (!leader_active_) {
     return error(StatusCode::kFailedPrecondition, "not the active leader");
   }
+  NodeMetrics::get().proposals.inc();
+  const SimTime t_propose = sim_.now();
   const Duration cost = options_.cal.cpu_decision +
                         memcpy_cost(value.size(), options_.cal.memcpy_gbps);
-  cpu_.execute(cost, [this, value = std::move(value), done = std::move(done)]() mutable {
+  cpu_.execute(cost, [this, t_propose, value = std::move(value),
+                      done = std::move(done)]() mutable {
     if (!leader_active_) {
       if (done) done(error(StatusCode::kAborted, "leadership lost"), 0);
       return;
@@ -669,9 +706,23 @@ Status Node::propose(Bytes value, CommitFn done) {
       communicator_->write_raw(append.value().wrap->first, append.value().wrap->second);
     }
     const u64 op = next_op_++;
+    if (obs::Tracer::is_enabled()) {
+      auto& tracer = obs::Tracer::global();
+      tracer.begin_round(op, t_propose);
+      tracer.span(op, "propose", t_propose, sim_.now(), "seq", seq);
+    }
     communicator_->replicate(append.value().offset, std::move(append.value().bytes), op,
-                             [this, seq, done = std::move(done)](Status st) {
-                               if (st.is_ok()) ++commits_;
+                             [this, seq, op, t_propose, done = std::move(done)](Status st) {
+                               if (st.is_ok()) {
+                                 ++commits_;
+                                 NodeMetrics::get().commits.inc();
+                               } else {
+                                 NodeMetrics::get().commit_failures.inc();
+                               }
+                               NodeMetrics::get().commit_latency.record(sim_.now() - t_propose);
+                               if (obs::Tracer::is_enabled()) {
+                                 obs::Tracer::global().end_round(op, sim_.now(), st.is_ok());
+                               }
                                if (done) done(std::move(st), seq);
                              });
   });
@@ -683,12 +734,15 @@ Status Node::propose_batch(std::vector<Bytes> values, CommitFn done) {
     return error(StatusCode::kFailedPrecondition, "not the active leader");
   }
   if (values.empty()) return error(StatusCode::kInvalidArgument, "empty batch");
+  NodeMetrics::get().proposals.inc();
+  const SimTime t_propose = sim_.now();
   u64 total = 0;
   for (const auto& v : values) total += v.size();
   const Duration cost = options_.cal.cpu_decision +
                         static_cast<Duration>(values.size()) * options_.cal.cpu_batch_value +
                         memcpy_cost(total, options_.cal.memcpy_gbps);
-  cpu_.execute(cost, [this, values = std::move(values), done = std::move(done)]() mutable {
+  cpu_.execute(cost, [this, t_propose, values = std::move(values),
+                      done = std::move(done)]() mutable {
     if (!leader_active_) {
       if (done) done(error(StatusCode::kAborted, "leadership lost"), 0);
       return;
@@ -706,9 +760,24 @@ Status Node::propose_batch(std::vector<Bytes> values, CommitFn done) {
     }
     const u64 op = next_op_++;
     const u64 last_seq = next_seq_ - 1;
+    if (obs::Tracer::is_enabled()) {
+      auto& tracer = obs::Tracer::global();
+      tracer.begin_round(op, t_propose);
+      tracer.span(op, "propose", t_propose, sim_.now(), "batch", values.size());
+    }
     communicator_->replicate(append.value().offset, std::move(append.value().bytes), op,
-                             [this, last_seq, n = values.size(), done = std::move(done)](Status st) {
-                               if (st.is_ok()) commits_ += n;
+                             [this, last_seq, op, t_propose, n = values.size(),
+                              done = std::move(done)](Status st) {
+                               if (st.is_ok()) {
+                                 commits_ += n;
+                                 NodeMetrics::get().commits.inc(n);
+                               } else {
+                                 NodeMetrics::get().commit_failures.inc();
+                               }
+                               NodeMetrics::get().commit_latency.record(sim_.now() - t_propose);
+                               if (obs::Tracer::is_enabled()) {
+                                 obs::Tracer::global().end_round(op, sim_.now(), st.is_ok());
+                               }
                                if (done) done(std::move(st), last_seq);
                              });
   });
@@ -722,6 +791,7 @@ void Node::repair_replicas() {
   // each lagging replica's log from our own over the direct connection
   // (the "more in depth diagnosis" of §III-A).
   if (!leader_active_ || crashed_ || rerouting_) return;
+  NodeMetrics::get().repairs.inc();
   for (std::size_t i = 0; i < peers_.size(); ++i) {
     Peer& peer = peers_[i];
     if (!peer.connected || peer.data_qp == nullptr || !grants_.contains(peer.id) ||
@@ -814,6 +884,7 @@ void Node::on_qp_error(NodeId peer_id) {
 
 void Node::begin_reroute() {
   if (rerouting_ || crashed_) return;
+  NodeMetrics::get().reroutes.inc();
   rerouting_ = true;
   switch_dead_hint_ = true;
   // Silence on the dead path said nothing about the peers: treat everyone

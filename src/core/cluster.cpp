@@ -19,6 +19,7 @@ std::unique_ptr<Cluster> Cluster::create(const ClusterOptions& options) {
       std::make_unique<sw::SwitchDevice>(sim, "tofino0", kPrimarySwitchIp, options.switch_config);
   cluster->dataplane_ =
       std::make_unique<p4::P4ceDataplane>(kPrimarySwitchIp, options.ack_drop_stage);
+  cluster->dataplane_->set_clock(&sim);
   cluster->primary_->load_program(cluster->dataplane_.get());
   cluster->control_plane_ = std::make_unique<p4::ControlPlane>(
       sim, *cluster->primary_, *cluster->dataplane_);
@@ -26,6 +27,7 @@ std::unique_ptr<Cluster> Cluster::create(const ClusterOptions& options) {
   cluster->backup_ =
       std::make_unique<sw::SwitchDevice>(sim, "backup0", kBackupSwitchIp, options.switch_config);
   cluster->backup_dataplane_ = std::make_unique<p4::P4ceDataplane>(kBackupSwitchIp);
+  cluster->backup_dataplane_->set_clock(&sim);
   cluster->backup_->load_program(cluster->backup_dataplane_.get());
 
   // Hosts and links.

@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace p4ce::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::label(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string>> kv) {
+  std::string out(name);
+  if (kv.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : kv) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
+const MetricsRegistry::Series* MetricsRegistry::Snapshot::find(
+    std::string_view prefix) const noexcept {
+  for (const auto& s : series) {
+    if (s.name.size() >= prefix.size() && std::string_view(s.name).substr(0, prefix.size()) == prefix) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.series.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Series s;
+    s.name = name;
+    s.kind = Series::Kind::kCounter;
+    s.count = c->value();
+    snap.series.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Series s;
+    s.name = name;
+    s.kind = Series::Kind::kGauge;
+    s.value = g->value();
+    s.high_water = g->high_water();
+    snap.series.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Series s;
+    s.name = name;
+    s.kind = Series::Kind::kHistogram;
+    s.count = h->count();
+    s.mean = h->mean_ns();
+    s.p50 = h->p50_ns();
+    s.p99 = h->p99_ns();
+    s.min = h->min_ns();
+    s.max = h->max_ns();
+    snap.series.push_back(std::move(s));
+  }
+  std::sort(snap.series.begin(), snap.series.end(),
+            [](const Series& a, const Series& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+void append_number(std::string& out, double v) {
+  char buf[64];
+  // Integral values print without a fractional part so counters stay exact.
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 && v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+}  // namespace
+
+void append_snapshot_json(std::string& out, const MetricsRegistry::Snapshot& snapshot) {
+  out += '{';
+  bool first = true;
+  for (const auto& s : snapshot.series) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_json_escaped(out, s.name);
+    out += ": {";
+    switch (s.kind) {
+      case MetricsRegistry::Series::Kind::kCounter:
+        out += "\"type\": \"counter\", \"value\": ";
+        append_number(out, static_cast<double>(s.count));
+        break;
+      case MetricsRegistry::Series::Kind::kGauge:
+        out += "\"type\": \"gauge\", \"value\": ";
+        append_number(out, s.value);
+        out += ", \"high_water\": ";
+        append_number(out, s.high_water);
+        break;
+      case MetricsRegistry::Series::Kind::kHistogram:
+        out += "\"type\": \"histogram\", \"count\": ";
+        append_number(out, static_cast<double>(s.count));
+        out += ", \"mean\": ";
+        append_number(out, s.mean);
+        out += ", \"p50\": ";
+        append_number(out, s.p50);
+        out += ", \"p99\": ";
+        append_number(out, s.p99);
+        out += ", \"min\": ";
+        append_number(out, s.min);
+        out += ", \"max\": ";
+        append_number(out, s.max);
+        break;
+    }
+    out += '}';
+  }
+  out += "\n  }";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  append_snapshot_json(out, snapshot());
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::string out = "{\n  \"metrics\": ";
+  append_snapshot_json(out, snapshot());
+  out += "\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace p4ce::obs

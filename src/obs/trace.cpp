@@ -1,0 +1,216 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace p4ce::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(u32 sample_every, std::size_t max_events) {
+  sample_ = sample_every == 0 ? 1 : sample_every;
+  max_events_ = max_events;
+  overflowed_ = false;
+  g_enabled_ = true;
+}
+
+void Tracer::disable() noexcept { g_enabled_ = false; }
+
+void Tracer::clear() {
+  events_.clear();
+  active_.clear();
+  overflowed_ = false;
+}
+
+Tracer::Round* Tracer::find_round(u64 instance) noexcept {
+  for (auto& round : active_) {
+    if (round.instance == instance) return &round;
+  }
+  return nullptr;
+}
+
+void Tracer::push(Event event) {
+  if (events_.size() >= max_events_) {
+    overflowed_ = true;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void Tracer::begin_round(u64 instance, SimTime start) {
+  if (!sampled(instance) || find_round(instance) != nullptr) return;
+  Round round;
+  round.instance = instance;
+  round.start = start;
+  active_.push_back(round);
+}
+
+void Tracer::span(u64 instance, const char* name, SimTime start, SimTime end,
+                  const char* arg_name, u64 arg) {
+  if (find_round(instance) == nullptr) return;
+  push(Event{instance, name, start, std::max<Duration>(end - start, 0), arg_name, arg});
+}
+
+void Tracer::instant(u64 instance, const char* name, SimTime at, const char* arg_name, u64 arg) {
+  if (find_round(instance) == nullptr) return;
+  push(Event{instance, name, at, -1, arg_name, arg});
+}
+
+void Tracer::map_wire(u64 instance, Psn first_psn, u32 npkts) {
+  Round* round = find_round(instance);
+  if (round == nullptr) return;
+  round->has_wire = true;
+  round->first_psn = first_psn & kPsnMask;
+  round->npkts = std::max<u32>(npkts, 1);
+}
+
+u64 Tracer::instance_for_psn(Psn psn) const noexcept {
+  for (const auto& round : active_) {
+    if (!round.has_wire) continue;
+    const i32 d = psn_distance(round.first_psn, psn & kPsnMask);
+    if (d >= 0 && d < static_cast<i32>(round.npkts)) return round.instance;
+  }
+  return 0;
+}
+
+void Tracer::on_scatter(u64 instance, SimTime at) {
+  Round* round = find_round(instance);
+  if (round == nullptr) return;
+  if (round->scatter_first < 0) round->scatter_first = at;
+  round->scatter_last = std::max(round->scatter_last, at);
+}
+
+void Tracer::on_scatter_copy(u64 instance, SimTime at, u32 replica) {
+  Round* round = find_round(instance);
+  if (round == nullptr) return;
+  round->scatter_last = std::max(round->scatter_last, at);
+  push(Event{instance, "scatter.copy", at, -1, "replica", replica});
+}
+
+void Tracer::on_ack(u64 instance, SimTime at, u32 replica) {
+  Round* round = find_round(instance);
+  if (round == nullptr) return;
+  if (round->gather_first < 0) round->gather_first = at;
+  round->gather_last = std::max(round->gather_last, at);
+  push(Event{instance, "replica.ack", at, -1, "replica", replica});
+}
+
+void Tracer::on_quorum(u64 instance, SimTime at) {
+  Round* round = find_round(instance);
+  if (round == nullptr) return;
+  round->gather_last = std::max(round->gather_last, at);
+  push(Event{instance, "gather.quorum", at, -1, nullptr, 0});
+}
+
+void Tracer::end_round(u64 instance, SimTime end, bool committed) {
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [&](const Round& r) { return r.instance == instance; });
+  if (it == active_.end()) return;
+  const Round round = *it;
+  active_.erase(it);
+
+  if (round.scatter_first >= 0) {
+    push(Event{instance, "switch.scatter", round.scatter_first,
+               std::max<Duration>(round.scatter_last - round.scatter_first, 1), nullptr, 0});
+  }
+  if (round.gather_first >= 0) {
+    push(Event{instance, "gather", round.gather_first,
+               std::max<Duration>(round.gather_last - round.gather_first, 1), nullptr, 0});
+  }
+  push(Event{instance, "round", round.start, std::max<Duration>(end - round.start, 1),
+             "committed", committed ? 1u : 0u});
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_event_json(std::string& out, const Tracer* /*tracer*/, u64 tid, const char* name,
+                       SimTime start, Duration dur, u64 instance, const char* arg_name, u64 arg) {
+  char buf[96];
+  out += "  {\"name\": ";
+  append_json_escaped(out, name);
+  if (dur >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f",
+                  static_cast<double>(start) / 1000.0, static_cast<double>(dur) / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), ", \"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f",
+                  static_cast<double>(start) / 1000.0);
+  }
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ", \"pid\": 1, \"tid\": %llu, \"args\": {\"instance\": %llu",
+                static_cast<unsigned long long>(tid), static_cast<unsigned long long>(instance));
+  out += buf;
+  if (arg_name != nullptr) {
+    out += ", ";
+    append_json_escaped(out, arg_name);
+    std::snprintf(buf, sizeof(buf), ": %llu", static_cast<unsigned long long>(arg));
+    out += buf;
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  // One track (tid) per traced instance, in order of first appearance, so a
+  // round's spans nest by time containment on their own track.
+  std::vector<u64> instances;
+  for (const auto& e : events_) {
+    if (std::find(instances.begin(), instances.end(), e.instance) == instances.end()) {
+      instances.push_back(e.instance);
+    }
+  }
+  auto tid_of = [&](u64 instance) -> u64 {
+    const auto it = std::find(instances.begin(), instances.end(), instance);
+    return static_cast<u64>(it - instances.begin()) + 1;
+  };
+
+  // Sort for stable nesting: by track, then start time, longest span first.
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const auto& e : events_) ordered.push_back(&e);
+  std::sort(ordered.begin(), ordered.end(), [&](const Event* a, const Event* b) {
+    const u64 ta = tid_of(a->instance), tb = tid_of(b->instance);
+    if (ta != tb) return ta < tb;
+    if (a->start != b->start) return a->start < b->start;
+    return a->dur > b->dur;
+  });
+
+  std::string out = "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  char buf[160];
+  out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"p4ce consensus\"}}";
+  for (u64 instance : instances) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %llu, "
+                  "\"args\": {\"name\": \"instance %llu\"}}",
+                  static_cast<unsigned long long>(tid_of(instance)),
+                  static_cast<unsigned long long>(instance));
+    out += buf;
+  }
+  for (const Event* e : ordered) {
+    out += ",\n";
+    append_event_json(out, this, tid_of(e->instance), e->name, e->start, e->dur, e->instance,
+                      e->arg_name, e->arg);
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string out = to_chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace p4ce::obs

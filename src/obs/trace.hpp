@@ -1,0 +1,133 @@
+// Consensus-instance tracing: simulated-time spans keyed by the leader's
+// operation id, recording one consensus round end to end — propose (leader
+// CPU) -> leader write post -> switch scatter -> per-replica ACK -> gather
+// quorum -> commit — exported as Chrome trace-event JSON so a round can be
+// inspected in about:tracing or Perfetto.
+//
+// The switch data plane never sees operation ids, only packet sequence
+// numbers, so the tracer keeps a wire map: when the leader posts the write
+// for a sampled instance it registers the PSN range the write occupies, and
+// switch-side hooks resolve PSN -> instance with a scan over the (small)
+// set of rounds currently in flight.
+//
+// Cost model: every hook is guarded by `Tracer::is_enabled()`, a single
+// non-atomic bool load, so the disabled configuration adds one predictable
+// branch per call site and nothing else. Enabled, rounds are sampled
+// (`sample_every`) and the event buffer is bounded (`max_events`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace p4ce::obs {
+
+class Tracer {
+ public:
+  /// The process-wide tracer the stack's hooks report to.
+  static Tracer& global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The hot-path guard: false until enable() is called.
+  static bool is_enabled() noexcept { return g_enabled_; }
+
+  /// Start recording. Rounds whose instance id is divisible by
+  /// `sample_every` are traced; recording stops (new events are dropped)
+  /// once `max_events` have been buffered.
+  void enable(u32 sample_every = 1, std::size_t max_events = 1u << 20);
+  void disable() noexcept;
+  /// Drop all buffered events and in-flight rounds (keeps enabled state).
+  void clear();
+
+  u32 sample_every() const noexcept { return sample_; }
+  bool overflowed() const noexcept { return overflowed_; }
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+  /// Whether this instance should be traced. Valid instance ids are >= 1.
+  bool sampled(u64 instance) const noexcept {
+    return g_enabled_ && instance != 0 && instance % sample_ == 0;
+  }
+
+  // --- Round lifecycle (leader side) ------------------------------------
+
+  /// Open the root span of a consensus round. `start` is when the proposal
+  /// entered the node (queueing ahead of the leader CPU counts).
+  void begin_round(u64 instance, SimTime start);
+
+  /// Record a closed child span of a sampled round. No-op for untraced
+  /// instances, so call sites don't need their own sampled() check.
+  void span(u64 instance, const char* name, SimTime start, SimTime end,
+            const char* arg_name = nullptr, u64 arg = 0);
+
+  /// Record a point event within a sampled round.
+  void instant(u64 instance, const char* name, SimTime at,
+               const char* arg_name = nullptr, u64 arg = 0);
+
+  /// Register the wire footprint of a sampled round: the posted write
+  /// occupies PSNs [first_psn, first_psn + npkts) on the leader's stream.
+  void map_wire(u64 instance, Psn first_psn, u32 npkts);
+
+  /// Resolve a leader-numbered PSN to the in-flight round covering it
+  /// (0 if none is traced). Used by the switch data plane.
+  u64 instance_for_psn(Psn psn) const noexcept;
+
+  // --- Switch-side aggregates (folded into spans at end_round) ----------
+
+  /// A scatter request packet for this round entered the switch ingress.
+  void on_scatter(u64 instance, SimTime at);
+  /// A per-replica carbon copy left the switch egress.
+  void on_scatter_copy(u64 instance, SimTime at, u32 replica);
+  /// A replica's ACK was counted toward the round's quorum (switch gather
+  /// or leader-CPU aggregation, depending on the communicator).
+  void on_ack(u64 instance, SimTime at, u32 replica);
+  /// The quorum-completing ACK was forwarded / observed.
+  void on_quorum(u64 instance, SimTime at);
+
+  /// Close the round: emits the root "round" span plus the aggregated
+  /// "switch.scatter" and "gather" spans, and releases the wire mapping.
+  void end_round(u64 instance, SimTime end, bool committed);
+
+  // --- Export ------------------------------------------------------------
+
+  /// Serialize everything recorded so far as Chrome trace-event JSON
+  /// (one track per traced instance; spans nest by time containment).
+  std::string to_chrome_json() const;
+  /// Write to_chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Event {
+    u64 instance = 0;
+    const char* name = nullptr;
+    SimTime start = 0;
+    Duration dur = -1;  ///< -1: instant event
+    const char* arg_name = nullptr;
+    u64 arg = 0;
+  };
+  struct Round {
+    u64 instance = 0;
+    SimTime start = 0;
+    Psn first_psn = 0;
+    u32 npkts = 0;
+    bool has_wire = false;
+    SimTime scatter_first = -1, scatter_last = -1;
+    SimTime gather_first = -1, gather_last = -1;
+  };
+
+  Round* find_round(u64 instance) noexcept;
+  void push(Event event);
+
+  static inline bool g_enabled_ = false;
+  u32 sample_ = 1;
+  std::size_t max_events_ = 1u << 20;
+  bool overflowed_ = false;
+  std::vector<Event> events_;
+  std::vector<Round> active_;  ///< rounds in flight; small (<= send window)
+};
+
+}  // namespace p4ce::obs

@@ -14,6 +14,10 @@
 #include "switchsim/register.hpp"
 #include "switchsim/table.hpp"
 
+namespace p4ce::sim {
+class Simulator;
+}  // namespace p4ce::sim
+
 namespace p4ce::p4 {
 
 /// Where surplus gathered ACKs are dropped. The paper's first implementation
@@ -46,6 +50,11 @@ class P4ceDataplane : public sw::PipelineProgram {
   /// — "the credit count of the slowest replicas would likely be ignored"
   /// (§IV-C).
   void set_credit_aggregation(bool enabled) noexcept { credit_aggregation_ = enabled; }
+
+  /// Give the data plane a read-only clock so tracing hooks can timestamp
+  /// scatter/gather events in simulated time. Optional: standalone/ablation
+  /// uses without a clock simply record no trace events.
+  void set_clock(const sim::Simulator* sim) noexcept { clock_ = sim; }
 
   bool group_active(u16 group_idx) const noexcept {
     return group_idx < kMaxGroups && groups_[group_idx].active;
@@ -96,6 +105,7 @@ class P4ceDataplane : public sw::PipelineProgram {
 
   Ipv4Addr switch_ip_;
   AckDropStage drop_stage_;
+  const sim::Simulator* clock_ = nullptr;
   bool credit_aggregation_ = true;
   sw::ExactMatchTable<Ipv4Addr, u32> l3_{"l3_forward"};
   sw::ExactMatchTable<Qpn, u16> bcast_table_{"bcast_qp", 1024};

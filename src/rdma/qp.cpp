@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "rdma/nic.hpp"
 
 namespace p4ce::rdma {
+
+namespace {
+
+// Aggregate transport-health metrics across all QPs in the process. The
+// references are cached once (instruments are never removed from the
+// registry) so the hot path is a plain integer add.
+struct QpMetrics {
+  obs::Counter& msgs_sent;
+  obs::Counter& msgs_received;
+  obs::Counter& retransmits;
+  obs::Counter& timeouts;
+  obs::Counter& naks_rx;
+  obs::Counter& gap_naks_tx;
+  obs::Counter& duplicates_rx;
+  obs::Gauge& ack_credits;
+
+  static QpMetrics& get() {
+    static QpMetrics m{
+        obs::MetricsRegistry::global().counter("rdma.qp.msgs_sent"),
+        obs::MetricsRegistry::global().counter("rdma.qp.msgs_received"),
+        obs::MetricsRegistry::global().counter("rdma.qp.retransmits"),
+        obs::MetricsRegistry::global().counter("rdma.qp.retransmit_timeouts"),
+        obs::MetricsRegistry::global().counter("rdma.qp.naks_rx"),
+        obs::MetricsRegistry::global().counter("rdma.qp.gap_naks_tx"),
+        obs::MetricsRegistry::global().counter("rdma.qp.duplicates_rx"),
+        obs::MetricsRegistry::global().gauge("rdma.qp.ack_credits"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string_view to_string(QpState s) noexcept {
   switch (s) {
@@ -113,6 +146,7 @@ void QueuePair::pump_send_queue() {
     transmit_wqe(wqe);
     inflight_.push_back(std::move(wqe));
     ++messages_sent_;
+    QpMetrics::get().msgs_sent.inc();
   }
   if (!inflight_.empty() && !retransmit_timer_.pending()) arm_timer();
 }
@@ -185,6 +219,7 @@ void QueuePair::handle_ack(const net::Packet& packet) {
   const Aeth& aeth = *packet.aeth;
 
   if (aeth.is_nak) {
+    QpMetrics::get().naks_rx.inc();
     if (nak_cb_) nak_cb_(aeth.nak_code, packet.bth.psn);
     if (state_ == QpState::kError || state_ == QpState::kReset) {
       return;  // the NAK callback may have reset or errored the QP
@@ -193,6 +228,7 @@ void QueuePair::handle_ack(const net::Packet& packet) {
       // Go-back-N: the responder expected packet.bth.psn; resend everything
       // outstanding from the oldest unacknowledged message.
       ++retransmissions_;
+      QpMetrics::get().retransmits.inc();
       for (const auto& wqe : inflight_) transmit_wqe(wqe);
       arm_timer();
     } else {
@@ -214,6 +250,7 @@ void QueuePair::handle_ack(const net::Packet& packet) {
   // Positive ACK with PSN p acknowledges every packet up to and including p
   // (RDMA ACKs are cumulative / coalescable).
   credits_seen_ = aeth.credits;
+  QpMetrics::get().ack_credits.set(aeth.credits);
   bool progressed = false;
   while (!inflight_.empty()) {
     Wqe& head = inflight_.front();
@@ -285,6 +322,8 @@ void QueuePair::on_timeout() {
     return;
   }
   ++retransmissions_;
+  QpMetrics::get().timeouts.inc();
+  QpMetrics::get().retransmits.inc();
   for (const auto& wqe : inflight_) transmit_wqe(wqe);
   arm_timer();
 }
@@ -327,6 +366,7 @@ void QueuePair::handle_request(const net::Packet& packet) {
     // Duplicate (retransmission we already executed). Writes are idempotent
     // here because the requester retransmits identical data at identical
     // addresses; just refresh the ACK so the requester can make progress.
+    QpMetrics::get().duplicates_rx.inc();
     if (is_last_or_only(packet.bth.opcode) && packet.bth.ack_request) {
       send_ack(packet.bth.psn);
     }
@@ -334,6 +374,7 @@ void QueuePair::handle_request(const net::Packet& packet) {
   }
   if (gap > 0) {
     // Missing packets: NAK with the PSN we expected (go-back-N point).
+    QpMetrics::get().gap_naks_tx.inc();
     send_nak(expected_psn_, NakCode::kPsnSequenceError);
     return;
   }
@@ -403,6 +444,7 @@ void QueuePair::handle_request(const net::Packet& packet) {
                                              config_.mtu);
       ++msn_;
       ++messages_received_;
+      QpMetrics::get().msgs_received.inc();
       for (u32 i = 0; i < npkts; ++i) {
         Opcode op;
         if (npkts == 1) {
@@ -440,6 +482,7 @@ void QueuePair::handle_request(const net::Packet& packet) {
   if (is_last_or_only(packet.bth.opcode)) {
     ++msn_;
     ++messages_received_;
+    QpMetrics::get().msgs_received.inc();
     if (packet.bth.ack_request) send_ack(packet.bth.psn);
   }
 }

@@ -114,6 +114,13 @@ class QueuePair {
   u64 messages_sent() const noexcept { return messages_sent_; }
   u64 messages_received() const noexcept { return messages_received_; }
   Psn next_send_psn() const noexcept { return send_psn_; }
+  /// PSN the next *posted* message will start at: PSNs are assigned when a
+  /// WQE leaves the send queue, so account for everything still queued.
+  Psn planned_next_psn() const noexcept {
+    u32 queued = 0;
+    for (const auto& wqe : send_queue_) queued += packets_for(wqe);
+    return psn_add(send_psn_, queued);
+  }
   Psn expected_recv_psn() const noexcept { return expected_psn_; }
 
  private:

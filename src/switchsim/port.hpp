@@ -12,6 +12,11 @@
 #include "common/types.hpp"
 #include "net/packet.hpp"
 
+namespace p4ce::obs {
+class Counter;
+class Gauge;
+}  // namespace p4ce::obs
+
 namespace p4ce::sw {
 
 class SwitchDevice;
@@ -70,6 +75,11 @@ class Port : public net::PacketSink {
   u64 rx_packets() const noexcept { return rx_; }
   u64 tx_packets() const noexcept { return tx_; }
 
+  /// Record the ingress parser's current backlog on this port's gauge.
+  void note_ingress_backlog(SimTime now) noexcept;
+  /// Record the egress parser's current backlog on this port's gauge.
+  void note_egress_backlog(SimTime now) noexcept;
+
  private:
   SwitchDevice& device_;
   u32 index_;
@@ -79,6 +89,14 @@ class Port : public net::PacketSink {
   ParserModel egress_parser_;
   u64 rx_ = 0;
   u64 tx_ = 0;
+  // Registry instruments, labelled {sw=<device>,port=<index>}; registered
+  // once at construction so the per-packet path is a cached pointer bump.
+  obs::Counter* m_rx_pkts_ = nullptr;
+  obs::Counter* m_rx_bytes_ = nullptr;
+  obs::Counter* m_tx_pkts_ = nullptr;
+  obs::Counter* m_tx_bytes_ = nullptr;
+  obs::Gauge* m_ingress_backlog_ = nullptr;
+  obs::Gauge* m_egress_backlog_ = nullptr;
 };
 
 }  // namespace p4ce::sw

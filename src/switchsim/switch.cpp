@@ -3,12 +3,18 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace p4ce::sw {
 
 SwitchDevice::SwitchDevice(sim::Simulator& sim, std::string name, Ipv4Addr ip,
                            SwitchConfig config)
-    : sim_(sim), name_(std::move(name)), ip_(ip), config_(config) {}
+    : sim_(sim), name_(std::move(name)), ip_(ip), config_(config) {
+  auto& reg = obs::MetricsRegistry::global();
+  m_ingress_drops_ = &reg.counter(obs::MetricsRegistry::label("switch.ingress_drops", {{"sw", name_}}));
+  m_egress_drops_ = &reg.counter(obs::MetricsRegistry::label("switch.egress_drops", {{"sw", name_}}));
+  m_punts_ = &reg.counter(obs::MetricsRegistry::label("switch.punts", {{"sw", name_}}));
+}
 
 u32 SwitchDevice::add_port() {
   const u32 index = static_cast<u32>(ports_.size());
@@ -20,6 +26,7 @@ void SwitchDevice::on_port_rx(u32 port, net::Packet packet) {
   if (!powered_ || program_ == nullptr) return;
   // Per-port ingress parser: a finite packet rate, the §IV-D bottleneck.
   const SimTime parsed = ports_[port]->ingress_parser().admit(sim_.now());
+  ports_[port]->note_ingress_backlog(sim_.now());
   sim_.schedule_at(parsed + config_.ingress_latency,
                    [this, port, p = std::move(packet)]() mutable {
                      if (!powered_) return;
@@ -49,10 +56,12 @@ void SwitchDevice::run_ingress(PacketContext ctx) {
 void SwitchDevice::route(PacketContext ctx) {
   if (ctx.drop) {
     ++ingress_drops_;
+    m_ingress_drops_->inc();
     return;
   }
   if (ctx.punt_to_cpu) {
     ++punted_;
+    m_punts_->inc();
     if (!cpu_handler_) return;
     sim_.schedule(config_.punt_latency,
                   [this, p = std::move(ctx.packet), port = ctx.ingress_port]() mutable {
@@ -67,6 +76,7 @@ void SwitchDevice::route(PacketContext ctx) {
     const auto& copies = mcast_.lookup(*ctx.mcast_group);
     if (copies.empty()) {
       ++ingress_drops_;
+      m_ingress_drops_->inc();
       return;
     }
     for (const auto& copy : copies) {
@@ -84,19 +94,23 @@ void SwitchDevice::route(PacketContext ctx) {
     return;
   }
   ++ingress_drops_;  // no routing decision: drop
+  m_ingress_drops_->inc();
 }
 
 void SwitchDevice::run_egress(PacketContext ctx) {
   if (ctx.egress_port >= ports_.size()) {
     ++egress_drops_;
+    m_egress_drops_->inc();
     return;
   }
   const SimTime parsed = ports_[ctx.egress_port]->egress_parser().admit(sim_.now());
+  ports_[ctx.egress_port]->note_egress_backlog(sim_.now());
   sim_.schedule_at(parsed + config_.egress_latency, [this, c = std::move(ctx)]() mutable {
     if (!powered_) return;
     program_->egress(c);
     if (c.drop) {
       ++egress_drops_;
+      m_egress_drops_->inc();
       return;
     }
     ports_[c.egress_port]->transmit(std::move(c.packet));
@@ -108,17 +122,41 @@ void SwitchDevice::run_egress(PacketContext ctx) {
 // ---------------------------------------------------------------------------
 
 Port::Port(SwitchDevice& device, u32 index, double parser_pps)
-    : device_(device), index_(index), ingress_parser_(parser_pps), egress_parser_(parser_pps) {}
+    : device_(device), index_(index), ingress_parser_(parser_pps), egress_parser_(parser_pps) {
+  auto& reg = obs::MetricsRegistry::global();
+  const auto port_label = [&](std::string_view series) {
+    return obs::MetricsRegistry::label(series,
+                                       {{"sw", device.name()}, {"port", std::to_string(index)}});
+  };
+  m_rx_pkts_ = &reg.counter(port_label("switch.port.rx_pkts"));
+  m_rx_bytes_ = &reg.counter(port_label("switch.port.rx_bytes"));
+  m_tx_pkts_ = &reg.counter(port_label("switch.port.tx_pkts"));
+  m_tx_bytes_ = &reg.counter(port_label("switch.port.tx_bytes"));
+  m_ingress_backlog_ = &reg.gauge(port_label("switch.port.ingress_backlog_ns"));
+  m_egress_backlog_ = &reg.gauge(port_label("switch.port.egress_backlog_ns"));
+}
 
 void Port::deliver(net::Packet packet) {
   ++rx_;
+  m_rx_pkts_->inc();
+  m_rx_bytes_->inc(packet.wire_size());
   device_.on_port_rx(index_, std::move(packet));
 }
 
 void Port::transmit(net::Packet packet) {
   if (link_ == nullptr) return;
   ++tx_;
+  m_tx_pkts_->inc();
+  m_tx_bytes_->inc(packet.wire_size());
   link_->send(end_, std::move(packet));
+}
+
+void Port::note_ingress_backlog(SimTime now) noexcept {
+  m_ingress_backlog_->set(static_cast<double>(ingress_parser_.backlog(now)));
+}
+
+void Port::note_egress_backlog(SimTime now) noexcept {
+  m_egress_backlog_->set(static_cast<double>(egress_parser_.backlog(now)));
 }
 
 }  // namespace p4ce::sw

@@ -17,6 +17,10 @@
 #include "switchsim/pipeline.hpp"
 #include "switchsim/port.hpp"
 
+namespace p4ce::obs {
+class Counter;
+}  // namespace p4ce::obs
+
 namespace p4ce::sw {
 
 struct SwitchConfig {
@@ -91,6 +95,10 @@ class SwitchDevice {
   u64 ingress_drops_ = 0;
   u64 egress_drops_ = 0;
   u64 punted_ = 0;
+  // Registry counters labelled {sw=<name>}, cached at construction.
+  obs::Counter* m_ingress_drops_ = nullptr;
+  obs::Counter* m_egress_drops_ = nullptr;
+  obs::Counter* m_punts_ = nullptr;
 };
 
 }  // namespace p4ce::sw

@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <tuple>
+
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace p4ce::workload {
 
@@ -42,6 +49,132 @@ void Table::print() const {
     std::printf("\n");
   }
   std::fflush(stdout);
+}
+
+// ---------------------------------------------------------------------------
+// BenchSession
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_number_json(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 && v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  out += buf;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+BenchSession::BenchSession(std::string name) : name_(std::move(name)) {
+  set_log_level_from_env();
+
+  if (const char* dir = std::getenv("P4CE_BENCH_DIR"); dir != nullptr && dir[0] != '\0') {
+    dir_ = dir;
+  } else {
+    dir_ = ".";
+  }
+  if (const char* flag = std::getenv("P4CE_BENCH_JSON");
+      flag != nullptr && std::strcmp(flag, "0") == 0) {
+    json_enabled_ = false;
+  }
+
+  if (const char* trace = std::getenv("P4CE_TRACE");
+      trace != nullptr && trace[0] != '\0' && std::strcmp(trace, "0") != 0) {
+    tracing_ = true;
+    if (std::strcmp(trace, "1") != 0 && std::strcmp(trace, "true") != 0) trace_path_ = trace;
+    u32 sample = 1;
+    if (const char* s = std::getenv("P4CE_TRACE_SAMPLE"); s != nullptr) {
+      const long parsed = std::strtol(s, nullptr, 10);
+      if (parsed > 0) sample = static_cast<u32>(parsed);
+    }
+    obs::Tracer::global().enable(sample);
+    obs::Tracer::global().clear();
+  }
+
+  // The dump should describe exactly this run, not whatever static
+  // initialization or a previous session in the same process left behind.
+  obs::MetricsRegistry::global().reset();
+}
+
+BenchSession::~BenchSession() { finish(); }
+
+void BenchSession::add_value(const std::string& key, double value) {
+  values_.emplace_back(key, value);
+}
+
+void BenchSession::add_table(const Table& table) { tables_.push_back(table); }
+
+std::string BenchSession::path_for(const std::string& prefix) const {
+  return dir_ + "/" + prefix + "_" + name_ + ".json";
+}
+
+void BenchSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!json_enabled_) return;
+
+  std::string out = "{\n  \"schema\": \"p4ce-bench-v1\",\n  \"bench\": ";
+  obs::append_json_escaped(out, name_);
+  out += ",\n  \"values\": {";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    obs::append_json_escaped(out, values_[i].first);
+    out += ": ";
+    append_number_json(out, values_[i].second);
+  }
+  out += "\n  },\n  \"tables\": [";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const Table& table = tables_[t];
+    out += t == 0 ? "\n    {" : ",\n    {";
+    out += "\"title\": ";
+    obs::append_json_escaped(out, table.title());
+    out += ", \"columns\": [";
+    for (std::size_t i = 0; i < table.columns().size(); ++i) {
+      if (i != 0) out += ", ";
+      obs::append_json_escaped(out, table.columns()[i]);
+    }
+    out += "], \"rows\": [";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      out += r == 0 ? "\n      [" : ",\n      [";
+      const auto& row = table.rows()[r];
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i != 0) out += ", ";
+        obs::append_json_escaped(out, row[i]);
+      }
+      out += "]";
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ],\n  \"metrics\": ";
+  obs::append_snapshot_json(out, obs::MetricsRegistry::global().snapshot());
+  out += "\n}\n";
+
+  if (!write_file(path_for("BENCH"), out)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path_for("BENCH").c_str());
+  }
+
+  if (tracing_) {
+    std::ignore = obs::MetricsRegistry::global().write_json(path_for("METRICS"));
+    const std::string trace_out = trace_path_.empty() ? path_for("TRACE") : trace_path_;
+    if (!obs::Tracer::global().write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "warning: could not write %s\n", trace_out.c_str());
+    } else {
+      std::printf("\ntrace: %s (%zu events%s)\n", trace_out.c_str(),
+                  obs::Tracer::global().event_count(),
+                  obs::Tracer::global().overflowed() ? ", buffer overflowed" : "");
+    }
+  }
 }
 
 void print_header(const std::string& experiment, const std::string& paper_claim) {

@@ -1,8 +1,11 @@
-// Plain-text table printing for the benchmark harness: every bench prints
-// the rows/series the paper's corresponding table or figure reports.
+// Plain-text table printing for the benchmark harness — every bench prints
+// the rows/series the paper's corresponding table or figure reports — plus
+// the BenchSession wrapper that exports the same results (and the process
+// metrics registry / trace buffer) as machine-readable JSON.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -18,6 +21,10 @@ class Table {
   void add_row(std::vector<std::string> cells);
   void print() const;
 
+  const std::string& title() const noexcept { return title_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept { return rows_; }
+
   static std::string fmt(double value, int precision = 2);
 
  private:
@@ -28,5 +35,49 @@ class Table {
 
 /// Print a section heading for a bench binary.
 void print_header(const std::string& experiment, const std::string& paper_claim);
+
+/// One bench run's observability scope. Construction applies the
+/// environment:
+///   P4CE_LOG=<level>        log threshold for the run
+///   P4CE_TRACE=1|<path>     enable consensus-instance tracing (a value other
+///                           than 0/1 is used as the trace output path)
+///   P4CE_TRACE_SAMPLE=<n>   trace every n-th instance (default 1)
+///   P4CE_BENCH_DIR=<dir>    output directory (default ".")
+///   P4CE_BENCH_JSON=0       disable all JSON export
+/// and resets the metrics registry (and trace buffer) so the dump covers
+/// exactly this run. finish() — or the destructor — writes
+/// BENCH_<name>.json (schema p4ce-bench-v1: recorded values, tables, and a
+/// metrics snapshot) plus, when tracing, METRICS_<name>.json and the Chrome
+/// trace TRACE_<name>.json.
+class BenchSession {
+ public:
+  explicit BenchSession(std::string name);
+  ~BenchSession();
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  /// Record a scalar result, e.g. add_value("goodput_gbps", 3.2).
+  void add_value(const std::string& key, double value);
+  /// Record a result table (call right before or after table.print()).
+  void add_table(const Table& table);
+
+  bool tracing() const noexcept { return tracing_; }
+
+  /// Write the JSON artefacts (idempotent; also run by the destructor).
+  void finish();
+
+ private:
+  std::string path_for(const std::string& prefix) const;
+
+  std::string name_;
+  std::string dir_;
+  std::string trace_path_;
+  bool json_enabled_ = true;
+  bool tracing_ = false;
+  bool finished_ = false;
+  std::vector<std::pair<std::string, double>> values_;
+  std::vector<Table> tables_;
+};
 
 }  // namespace p4ce::workload

@@ -150,6 +150,61 @@ TEST(LatencyHistogram, SingleValue) {
   EXPECT_DOUBLE_EQ(h.mean_ns(), 1000);
 }
 
+TEST(LatencyHistogram, ExactBucketsBelowSubBucketCount) {
+  // Values below kSub (32) land in unit-wide buckets [v, v+1); the reported
+  // quantile is the bucket midpoint, so small recorded values round-trip to
+  // within 0.5 ns.
+  for (Duration v : {0, 1, 5, 31}) {
+    LatencyHistogram h;
+    h.record(v);
+    EXPECT_DOUBLE_EQ(h.quantile_ns(0.5), static_cast<double>(v) + 0.5) << "value " << v;
+  }
+}
+
+TEST(LatencyHistogram, PowerOfTwoBucketBoundaries) {
+  // A power of two >= 32 starts a fresh sub-bucket: 2^k falls in
+  // [2^k, 2^k + 2^(k-5)), whose midpoint is 2^k + 2^(k-6).
+  for (int k = 5; k <= 20; ++k) {
+    const u64 v = 1ull << k;
+    LatencyHistogram h;
+    h.record(static_cast<Duration>(v));
+    const double width = static_cast<double>(v) / 32.0;
+    EXPECT_DOUBLE_EQ(h.quantile_ns(0.5), static_cast<double>(v) + width / 2.0) << "value " << v;
+  }
+}
+
+TEST(LatencyHistogram, ExtremeQuantilesHitFirstAndLastBucket) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(1000);
+  h.record(100000);
+  // q=0 resolves to the lowest non-empty bucket, q=1 to the highest.
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.0), 10.5);
+  EXPECT_NEAR(h.quantile_ns(1.0), 100000, 100000 / 32.0);
+  // Out-of-range q is clamped rather than reading past the distribution.
+  EXPECT_DOUBLE_EQ(h.quantile_ns(-1.0), h.quantile_ns(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile_ns(2.0), h.quantile_ns(1.0));
+}
+
+TEST(LatencyHistogram, EmptyAndNegativeInputs) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.5), 0.0);
+  h.record(-50);  // clamped to 0
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.min_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, ResetClearsBucketsAndStats) {
+  LatencyHistogram h;
+  h.record(1234);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.99), 0.0);
+  h.record(7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.p50_ns(), 7.5);
+}
+
 TEST(GoodputMeter, ComputesRates) {
   GoodputMeter m;
   m.start(0);
@@ -159,6 +214,24 @@ TEST(GoodputMeter, ComputesRates) {
   EXPECT_EQ(m.bytes(), 2000u);
   EXPECT_DOUBLE_EQ(m.gigabytes_per_second(), 2000.0 / 1e9);
   EXPECT_DOUBLE_EQ(m.ops_per_second(), 2.0);
+}
+
+TEST(GoodputMeter, ElapsedClampsWhenStopNeverCalled) {
+  GoodputMeter m;
+  m.start(seconds(5));  // stop_ stays 0 < start_
+  m.add(1000);
+  EXPECT_EQ(m.elapsed(), 0);
+  EXPECT_DOUBLE_EQ(m.gigabytes_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(m.ops_per_second(), 0.0);
+}
+
+TEST(GoodputMeter, ElapsedClampsWhenStopPrecedesStart) {
+  GoodputMeter m;
+  m.start(seconds(2));
+  m.add(500);
+  m.stop(seconds(1));
+  EXPECT_EQ(m.elapsed(), 0);
+  EXPECT_DOUBLE_EQ(m.ops_per_second(), 0.0);
 }
 
 TEST(SiFormat, PicksSuffix) {

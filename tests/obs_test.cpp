@@ -1,0 +1,232 @@
+// Unit tests for the observability layer: the metrics registry (counters,
+// gauges, histograms, labels, snapshot/reset) and the consensus-instance
+// tracer (round lifecycle, sampling, PSN wire map, Chrome JSON export).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace p4ce::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterRegistersOnceAndAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("rdma.qp.retransmits");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("rdma.qp.retransmits"), &c);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeTracksHighWater) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("switch.port.backlog_ns");
+  g.set(10.0);
+  g.set(50.0);
+  g.set(20.0);
+  EXPECT_DOUBLE_EQ(g.value(), 20.0);
+  EXPECT_DOUBLE_EQ(g.high_water(), 50.0);
+  g.add(-5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 15.0);
+  EXPECT_DOUBLE_EQ(g.high_water(), 50.0);
+}
+
+TEST(MetricsRegistry, LabelComposesSeriesName) {
+  EXPECT_EQ(MetricsRegistry::label("rdma.qp.retransmits", {{"qp", "3"}}),
+            "rdma.qp.retransmits{qp=3}");
+  EXPECT_EQ(MetricsRegistry::label("switch.port.rx_pkts", {{"sw", "tofino0"}, {"port", "2"}}),
+            "switch.port.rx_pkts{sw=tofino0,port=2}");
+  EXPECT_EQ(MetricsRegistry::label("plain", {}), "plain");
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndFindsByPrefix) {
+  MetricsRegistry reg;
+  reg.counter("zzz.last").inc(1);
+  reg.counter("aaa.first").inc(2);
+  reg.gauge("mmm.middle").set(3.0);
+  reg.histogram("consensus.commit_latency_ns").record(1000);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.series.size(), 4u);
+  for (std::size_t i = 1; i < snap.series.size(); ++i) {
+    EXPECT_LT(snap.series[i - 1].name, snap.series[i].name);
+  }
+
+  const auto* hit = snap.find("consensus.");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "consensus.commit_latency_ns");
+  EXPECT_EQ(hit->kind, MetricsRegistry::Series::Kind::kHistogram);
+  EXPECT_EQ(hit->count, 1u);
+  EXPECT_EQ(snap.find("nope."), nullptr);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x.count");
+  Gauge& g = reg.gauge("x.level");
+  LatencyHistogram& h = reg.histogram("x.lat");
+  c.inc(7);
+  g.set(9.0);
+  h.record(100);
+
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.high_water(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  // Cached references stay live across the reset.
+  c.inc();
+  EXPECT_EQ(reg.snapshot().find("x.count")->count, 1u);
+}
+
+TEST(MetricsRegistry, JsonContainsEverySeries) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("b.level").set(1.5);
+  reg.histogram("c.lat").record(42);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.level\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"histogram\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonEscapesControlAndQuoteCharacters) {
+  std::string out;
+  append_json_escaped(out, "a\"b\\c\n");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\"");
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { tracer_.disable(); }
+  Tracer tracer_;
+};
+
+TEST_F(TracerTest, DisabledByDefaultAndHooksAreNoOps) {
+  EXPECT_FALSE(Tracer::is_enabled());
+  tracer_.begin_round(1, 0);
+  tracer_.span(1, "propose", 0, 10);
+  tracer_.end_round(1, 20, true);
+  EXPECT_EQ(tracer_.event_count(), 0u);
+}
+
+TEST_F(TracerTest, RoundLifecycleEmitsRootAndAggregateSpans) {
+  tracer_.enable();
+  tracer_.begin_round(1, 100);
+  tracer_.span(1, "propose", 100, 200, "seq", 1);
+  tracer_.on_scatter(1, 300);
+  tracer_.on_scatter_copy(1, 320, 0);
+  tracer_.on_scatter_copy(1, 340, 1);
+  tracer_.on_ack(1, 500, 0);
+  tracer_.on_ack(1, 520, 1);
+  tracer_.on_quorum(1, 520);
+  tracer_.end_round(1, 600, true);
+
+  const std::string json = tracer_.to_chrome_json();
+  EXPECT_NE(json.find("\"round\""), std::string::npos);
+  EXPECT_NE(json.find("\"propose\""), std::string::npos);
+  EXPECT_NE(json.find("\"switch.scatter\""), std::string::npos);
+  EXPECT_NE(json.find("\"gather\""), std::string::npos);
+  EXPECT_NE(json.find("\"scatter.copy\""), std::string::npos);
+  EXPECT_NE(json.find("\"replica.ack\""), std::string::npos);
+  EXPECT_NE(json.find("\"gather.quorum\""), std::string::npos);
+  EXPECT_NE(json.find("\"committed\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TracerTest, SamplingSkipsUnselectedInstances) {
+  tracer_.enable(/*sample_every=*/4);
+  EXPECT_FALSE(tracer_.sampled(1));
+  EXPECT_FALSE(tracer_.sampled(3));
+  EXPECT_TRUE(tracer_.sampled(4));
+  EXPECT_TRUE(tracer_.sampled(8));
+  EXPECT_FALSE(tracer_.sampled(0));  // 0 is the "no instance" sentinel
+
+  tracer_.begin_round(3, 0);
+  tracer_.span(3, "propose", 0, 10);
+  tracer_.end_round(3, 20, true);
+  EXPECT_EQ(tracer_.event_count(), 0u);
+
+  tracer_.begin_round(4, 0);
+  tracer_.span(4, "propose", 0, 10);
+  tracer_.end_round(4, 20, true);
+  EXPECT_GT(tracer_.event_count(), 0u);
+}
+
+TEST_F(TracerTest, WireMapResolvesPsnRange) {
+  tracer_.enable();
+  tracer_.begin_round(7, 0);
+  tracer_.map_wire(7, /*first_psn=*/100, /*npkts=*/3);
+  EXPECT_EQ(tracer_.instance_for_psn(99), 0u);
+  EXPECT_EQ(tracer_.instance_for_psn(100), 7u);
+  EXPECT_EQ(tracer_.instance_for_psn(102), 7u);
+  EXPECT_EQ(tracer_.instance_for_psn(103), 0u);
+  tracer_.end_round(7, 10, true);
+  // The mapping is released with the round.
+  EXPECT_EQ(tracer_.instance_for_psn(100), 0u);
+}
+
+TEST_F(TracerTest, WireMapHandles24BitPsnWrap) {
+  tracer_.enable();
+  tracer_.begin_round(9, 0);
+  tracer_.map_wire(9, kPsnMask - 1, /*npkts=*/4);  // covers kPsnMask-1 .. 1
+  EXPECT_EQ(tracer_.instance_for_psn(kPsnMask - 1), 9u);
+  EXPECT_EQ(tracer_.instance_for_psn(kPsnMask), 9u);
+  EXPECT_EQ(tracer_.instance_for_psn(0), 9u);
+  EXPECT_EQ(tracer_.instance_for_psn(1), 9u);
+  EXPECT_EQ(tracer_.instance_for_psn(2), 0u);
+  tracer_.end_round(9, 10, true);
+}
+
+TEST_F(TracerTest, EventBufferIsBounded) {
+  tracer_.enable(/*sample_every=*/1, /*max_events=*/4);
+  tracer_.begin_round(1, 0);
+  for (int i = 0; i < 100; ++i) tracer_.instant(1, "replica.ack", i);
+  tracer_.end_round(1, 200, true);
+  EXPECT_LE(tracer_.event_count(), 4u);
+  EXPECT_TRUE(tracer_.overflowed());
+}
+
+TEST_F(TracerTest, ClearDropsEventsButStaysEnabled) {
+  tracer_.enable();
+  tracer_.begin_round(1, 0);
+  tracer_.span(1, "propose", 0, 5);
+  tracer_.end_round(1, 10, true);
+  ASSERT_GT(tracer_.event_count(), 0u);
+  tracer_.clear();
+  EXPECT_EQ(tracer_.event_count(), 0u);
+  EXPECT_TRUE(Tracer::is_enabled());
+}
+
+TEST_F(TracerTest, ChromeJsonTimesAreMicroseconds) {
+  tracer_.enable();
+  tracer_.begin_round(1, 1000);          // 1000 ns -> ts 1.000 us
+  tracer_.span(1, "propose", 1000, 3500);  // dur 2500 ns -> 2.500 us
+  tracer_.end_round(1, 5000, true);
+  const std::string json = tracer_.to_chrome_json();
+  EXPECT_NE(json.find("\"ts\": 1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4ce::obs
