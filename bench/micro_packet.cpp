@@ -1,28 +1,41 @@
-// Micro-benchmarks (google-benchmark) for the packet-processing primitives:
-// header codecs, the P4CE ingress/egress transformations, Tofino register
-// actions, and the event-queue kernel. These quantify the per-packet cost
-// of the simulation substrate itself.
+// Micro-benchmarks for the packet-processing primitives and the simulation
+// substrate itself: header codecs, the P4CE ingress/egress transformations,
+// Tofino register actions, the event-queue kernel — plus two timed
+// whole-subsystem workloads (the 5-replica switch scatter path and the raw
+// event core) whose throughput and bytes-copied counters quantify the
+// zero-copy packet path across PRs.
+//
+// Every number printed here is also routed through the BenchSession so
+// BENCH_micro_packet.json carries the full result set (values + tables);
+// scripts/check.sh's perf-smoke step compares that JSON against
+// bench/baselines/micro_packet.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "p4ce/dataplane.hpp"
 #include "sim/simulator.hpp"
 #include "switchsim/register.hpp"
+#include "switchsim/switch.hpp"
 #include "workload/report.hpp"
 
 using namespace p4ce;
 
 namespace {
 
-net::Packet make_write_packet() {
+net::Packet make_write_packet(u32 payload_len = 64) {
   net::Packet p;
   p.ip.src = net::make_ip(0, 10);
   p.ip.dst = net::make_ip(1, 1);
   p.bth.opcode = rdma::Opcode::kWriteOnly;
   p.bth.dest_qp = 0x8000;
   p.bth.psn = 42;
-  p.reth = rdma::Reth{0x100, 0x1234, 64};
-  p.payload.assign(64, 0xab);
+  p.reth = rdma::Reth{0x100, 0x1234, payload_len};
+  p.payload = Bytes(payload_len, 0xab);
   return p;
 }
 
@@ -144,13 +157,175 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
+// ---------------------------------------------------------------------------
+// Timed whole-subsystem workloads (not google-benchmark: these run a fixed
+// amount of simulated work and report wall-clock throughput plus the
+// zero-copy counters, so results are comparable across PRs).
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+u64 counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+/// Terminal endpoint for scatter copies; counts deliveries.
+struct CountingSink : net::PacketSink {
+  u64 delivered = 0;
+  u64 payload_bytes = 0;
+  void deliver(net::Packet packet) override {
+    ++delivered;
+    payload_bytes += packet.payload.size();
+  }
+};
+
+/// Minimal pipeline: every inbound packet is replicated to multicast group 1
+/// (headers rewritten per copy would happen here; the workload measures the
+/// fabric, not the P4CE tables).
+struct ScatterProgram : sw::PipelineProgram {
+  void ingress(sw::PacketContext& ctx) override { ctx.mcast_group = 1; }
+  void egress(sw::PacketContext& ctx) override { ctx.packet.bth.dest_qp ^= ctx.replication_id; }
+};
+
+/// The §III scatter path: one ingress stream replicated to `replicas` egress
+/// ports at line rate. Reports packets/sec (egress copies delivered per
+/// wall-clock second) and the payload bytes copied vs shared underneath.
+void run_scatter_workload(workload::BenchSession& session, workload::Table& table) {
+  constexpr u32 kReplicas = 5;
+  constexpr u32 kPackets = 20'000;
+  constexpr u32 kPayload = 1024;
+
+  const u64 copied_before = counter_value("net.payload_bytes_copied");
+  const u64 shared_before = counter_value("net.payload_bytes_shared");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulator sim;
+  sw::SwitchDevice dev(sim, "bench-sw", net::make_ip(1, 1));
+  ScatterProgram program;
+  dev.load_program(&program);
+  const u32 ingress_port = dev.add_port();
+
+  std::vector<net::Link> links;
+  links.reserve(kReplicas);
+  std::vector<CountingSink> sinks(kReplicas);
+  std::vector<sw::McastCopy> copies;
+  for (u32 r = 0; r < kReplicas; ++r) {
+    const u32 port = dev.add_port();
+    links.emplace_back(sim, 100.0, 500);
+    links.back().attach(&dev.port(port), &sinks[r]);
+    dev.port(port).attach_link(&links.back(), 0);
+    copies.push_back({port, static_cast<u16>(r)});
+  }
+  std::ignore = dev.multicast().create_group(1, std::move(copies));
+
+  for (u32 i = 0; i < kPackets; ++i) {
+    net::Packet p = make_write_packet(kPayload);
+    p.bth.psn = i & kPsnMask;
+    dev.on_port_rx(ingress_port, std::move(p));
+  }
+  sim.run();
+  const double secs = seconds_since(t0);
+
+  u64 delivered = 0;
+  for (const auto& sink : sinks) delivered += sink.delivered;
+  const double pkts_per_sec = static_cast<double>(delivered) / secs;
+  const u64 copied = counter_value("net.payload_bytes_copied") - copied_before;
+  const u64 shared = counter_value("net.payload_bytes_shared") - shared_before;
+
+  session.add_value("scatter_packets_per_sec", pkts_per_sec);
+  session.add_value("scatter_payload_bytes_copied", static_cast<double>(copied));
+  session.add_value("scatter_payload_bytes_shared", static_cast<double>(shared));
+  table.add_row({"scatter x5 (1 KiB)", workload::Table::fmt(pkts_per_sec / 1e6, 3) + " Mpkt/s",
+                 std::to_string(copied), std::to_string(shared),
+                 std::to_string(sim.events_executed())});
+
+  if (delivered != static_cast<u64>(kPackets) * kReplicas) {
+    std::fprintf(stderr, "scatter workload lost packets: %llu/%llu\n",
+                 static_cast<unsigned long long>(delivered),
+                 static_cast<unsigned long long>(kPackets) * kReplicas);
+  }
+}
+
+/// The raw event kernel: schedule/cancel/execute churn with small callables,
+/// the all-day diet of every timer and packet hop in the simulation.
+void run_event_core_workload(workload::BenchSession& session, workload::Table& table) {
+  constexpr u32 kEvents = 300'000;
+
+  const u64 alloc_before = counter_value("sim.events_alloc");
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulator sim;
+  u64 fired = 0;
+  std::vector<sim::EventHandle> to_cancel;
+  to_cancel.reserve(kEvents / 4);
+  for (u32 i = 0; i < kEvents; ++i) {
+    sim::EventHandle h = sim.schedule((i * 7919) % 100'000, [&fired] { ++fired; });
+    if ((i & 3) == 0) to_cancel.push_back(h);  // every 4th gets cancelled
+  }
+  for (auto& h : to_cancel) h.cancel();
+  sim.run();
+  const double secs = seconds_since(t0);
+
+  const double events_per_sec = static_cast<double>(sim.events_executed()) / secs;
+  const u64 allocs = counter_value("sim.events_alloc") - alloc_before;
+  session.add_value("events_per_sec", events_per_sec);
+  session.add_value("events_executed", static_cast<double>(sim.events_executed()));
+  session.add_value("events_heap_allocs", static_cast<double>(allocs));
+  table.add_row({"event core", workload::Table::fmt(events_per_sec / 1e6, 3) + " Mev/s",
+                 std::to_string(allocs), "-", std::to_string(sim.events_executed())});
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark -> BenchSession bridge
+// ---------------------------------------------------------------------------
+
+/// Console reporter that also records every iteration run into the session,
+/// so BENCH_micro_packet.json carries the same rows the console prints.
+class SessionReporter : public benchmark::ConsoleReporter {
+ public:
+  SessionReporter(workload::BenchSession& session, workload::Table& table)
+      : session_(session), table_(table) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const auto& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      const double ns = run.GetAdjustedRealTime();
+      session_.add_value(run.benchmark_name() + "_ns", ns);
+      table_.add_row({run.benchmark_name(), workload::Table::fmt(ns, 1),
+                      workload::Table::fmt(run.GetAdjustedCPUTime(), 1),
+                      std::to_string(run.iterations)});
+    }
+  }
+
+ private:
+  workload::BenchSession& session_;
+  workload::Table& table_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   workload::BenchSession session("micro_packet");
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  workload::Table micro("Packet-processing micro-benchmarks",
+                        {"benchmark", "time (ns)", "cpu (ns)", "iterations"});
+  SessionReporter reporter(session, micro);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  session.add_table(micro);
+
+  workload::Table workloads(
+      "Fabric workloads (wall-clock throughput of the simulation substrate)",
+      {"workload", "throughput", "payload bytes copied", "payload bytes shared", "sim events"});
+  run_scatter_workload(session, workloads);
+  run_event_core_workload(session, workloads);
+  workloads.print();
+  session.add_table(workloads);
+
+  session.finish();
   return 0;
 }

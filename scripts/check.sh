@@ -1,30 +1,62 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the regular build + full test suite, then the test
-# suite again under AddressSanitizer + UBSan (separate build tree).
+# Tier-1 verification: the regular build + full test suite, a perf smoke of
+# the simulation substrate (event core + scatter path must stay within 20%
+# of the checked-in baseline), then the test suite again under
+# AddressSanitizer + UBSan (separate build tree).
 #
-# Usage: scripts/check.sh [--no-sanitize]
+# Usage: scripts/check.sh [--no-sanitize] [--no-perf]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 sanitize=1
-[[ "${1:-}" == "--no-sanitize" ]] && sanitize=0
+perf=1
+for arg in "$@"; do
+  [[ "$arg" == "--no-sanitize" ]] && sanitize=0
+  [[ "$arg" == "--no-perf" ]] && perf=0
+done
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+if [[ "$perf" == 1 ]]; then
+  echo "== perf smoke: micro_packet vs bench/baselines =="
+  ./build/bench/micro_packet >/dev/null
+  python3 - <<'EOF'
+import json, sys
+
+current = json.load(open("BENCH_micro_packet.json"))["values"]
+baseline = json.load(open("bench/baselines/micro_packet.json"))["values"]
+TOLERANCE = 0.20  # fail on >20% regression; noise and small wins are fine
+
+failed = False
+for key, ref in baseline.items():
+    got = current.get(key)
+    if got is None:
+        print(f"  MISSING {key}: not in BENCH_micro_packet.json")
+        failed = True
+        continue
+    ratio = got / ref
+    verdict = "ok" if ratio >= 1.0 - TOLERANCE else "REGRESSION"
+    print(f"  {verdict:10s} {key}: {got:,.0f} vs baseline {ref:,.0f} ({ratio:.2f}x)")
+    failed |= verdict != "ok"
+
+sys.exit(1 if failed else 0)
+EOF
+fi
+
 if [[ "$sanitize" == 1 ]]; then
   echo "== asan/ubsan: build + ctest =="
   cmake -B build-asan -S . -DP4CE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
   cmake --build build-asan -j "$jobs" --target \
-    common_test obs_test sim_test net_test rdma_memory_test rdma_qp_test \
+    common_test obs_test sim_test net_test payload_test rdma_memory_test rdma_qp_test \
     rdma_cm_test switch_test p4ce_dataplane_test p4ce_controlplane_test \
-    consensus_log_test consensus_node_test e2e_test
+    consensus_log_test consensus_node_test e2e_test determinism_test
   ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-    -R 'common_test|obs_test|sim_test|net_test|rdma_memory_test|rdma_qp_test|rdma_cm_test|switch_test|p4ce_dataplane_test|p4ce_controlplane_test|consensus_log_test|consensus_node_test|e2e_test'
+    -R 'common_test|obs_test|sim_test|net_test|payload_test|rdma_memory_test|rdma_qp_test|rdma_cm_test|switch_test|p4ce_dataplane_test|p4ce_controlplane_test|consensus_log_test|consensus_node_test|e2e_test|determinism_test'
 fi
 
 echo "== check.sh: all green =="

@@ -78,6 +78,13 @@ class ByteReader {
     return Bytes(data_.begin() + static_cast<std::ptrdiff_t>(pos_ - n),
                  data_.begin() + static_cast<std::ptrdiff_t>(pos_));
   }
+  /// Non-owning window over the next `n` bytes; valid only while the span
+  /// passed to the constructor is. Use in parse paths that only inspect
+  /// bytes (or copy them exactly once downstream) instead of raw().
+  BytesView view(std::size_t n) {
+    if (!take(n)) return {};
+    return data_.subspan(pos_ - n, n);
+  }
   void skip(std::size_t n) { take(n); }
 
   bool ok() const noexcept { return ok_; }

@@ -17,7 +17,7 @@ constexpr u8 kHasCm = 0x04;
 
 Bytes Packet::encode() const {
   Bytes out;
-  out.reserve(frame_size());
+  out.reserve(encoded_size());
   ByteWriter w(out);
   eth.encode(w);
   ip.encode(w);
@@ -32,7 +32,7 @@ Bytes Packet::encode() const {
   if (aeth) aeth->encode(w);
   if (cm) cm->encode(w);
   w.u32be(static_cast<u32>(payload.size()));
-  w.raw(payload);
+  w.raw(payload.view());
   w.u32be(0xdeadbeef);  // ICRC placeholder (not computed in the model)
   return out;
 }
@@ -49,7 +49,9 @@ Packet Packet::decode(BytesView bytes, bool* ok) {
   if (layout & kHasAeth) p.aeth = rdma::Aeth::decode(r);
   if (layout & kHasCm) p.cm = rdma::CmMessage::decode(r);
   const u32 payload_len = r.u32be();
-  p.payload = r.raw(payload_len);
+  // The single materialization point on the parse path: one counted copy out
+  // of the wire buffer into an owned payload.
+  p.payload = PayloadRef::copy_of(r.view(payload_len));
   r.skip(4);  // ICRC
   if (ok) *ok = r.ok();
   return p;

@@ -12,6 +12,7 @@
 #include "common/time.hpp"
 #include "common/types.hpp"
 #include "net/headers.hpp"
+#include "net/payload.hpp"
 #include "rdma/headers.hpp"
 #include "sim/simulator.hpp"
 
@@ -30,7 +31,9 @@ struct Packet {
   std::optional<rdma::Aeth> aeth;
   std::optional<rdma::CmMessage> cm;
 
-  Bytes payload;
+  /// Shared immutable payload view: carbon copies and MTU slices reference
+  /// one buffer; only headers are per-copy mutable (see payload.hpp).
+  PayloadRef payload;
 
   bool is_cm() const noexcept { return cm.has_value(); }
   bool is_ack() const noexcept { return bth.opcode == rdma::Opcode::kAcknowledge; }
@@ -55,6 +58,11 @@ struct Packet {
   /// Bytes of wire time the packet occupies (frame + preamble + IFG); this is
   /// what bandwidth accounting uses, so goodput numbers are honest.
   u32 wire_size() const noexcept { return frame_size() + kPhyOverheadBytes; }
+
+  /// Exact size of the buffer encode() produces: the frame minus the FCS
+  /// (not serialized) plus the layout byte and the payload-length word the
+  /// encoder writes for unambiguous round-trips.
+  u32 encoded_size() const noexcept { return frame_size() - kEthernetFcsBytes + 1 + 4; }
 
   /// Serialize the full packet to network byte order (tests / fidelity).
   Bytes encode() const;

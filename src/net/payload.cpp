@@ -1,0 +1,88 @@
+#include "net/payload.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace p4ce::net {
+
+namespace {
+
+// Cached once: instruments are never removed from the registry, so the
+// per-packet accounting is a plain integer add.
+struct PayloadCounters {
+  obs::Counter& copied;
+  obs::Counter& shared;
+
+  static PayloadCounters& get() {
+    static PayloadCounters c{
+        obs::MetricsRegistry::global().counter("net.payload_bytes_copied"),
+        obs::MetricsRegistry::global().counter("net.payload_bytes_shared"),
+    };
+    return c;
+  }
+};
+
+}  // namespace
+
+PayloadRef::PayloadRef(Bytes&& bytes) {
+  if (bytes.empty()) return;
+  len_ = bytes.size();
+  buf_ = std::make_shared<const Bytes>(std::move(bytes));
+}
+
+PayloadRef::PayloadRef(const PayloadRef& other)
+    : buf_(other.buf_), off_(other.off_), len_(other.len_) {
+  if (len_ != 0) PayloadCounters::get().shared.inc(len_);
+}
+
+PayloadRef& PayloadRef::operator=(const PayloadRef& other) {
+  if (this != &other) {
+    buf_ = other.buf_;
+    off_ = other.off_;
+    len_ = other.len_;
+    if (len_ != 0) PayloadCounters::get().shared.inc(len_);
+  }
+  return *this;
+}
+
+PayloadRef& PayloadRef::operator=(Bytes&& bytes) {
+  *this = PayloadRef(std::move(bytes));
+  return *this;
+}
+
+PayloadRef PayloadRef::copy_of(BytesView bytes) {
+  if (bytes.empty()) return {};
+  PayloadCounters::get().copied.inc(bytes.size());
+  return PayloadRef(Bytes(bytes.begin(), bytes.end()));
+}
+
+PayloadRef PayloadRef::slice(std::size_t offset, std::size_t length) const {
+  if (offset >= len_ || length == 0) return {};
+  const std::size_t n = std::min(length, len_ - offset);
+  PayloadCounters::get().shared.inc(n);
+  return PayloadRef(buf_, off_ + offset, n);
+}
+
+Bytes PayloadRef::to_bytes() const {
+  if (len_ != 0) PayloadCounters::get().copied.inc(len_);
+  const BytesView v = view();
+  return Bytes(v.begin(), v.end());
+}
+
+std::size_t PayloadRef::copy_to(std::span<u8> dst) const {
+  const std::size_t n = std::min(dst.size(), len_);
+  if (n == 0) return 0;
+  std::memcpy(dst.data(), data(), n);
+  PayloadCounters::get().copied.inc(n);
+  return n;
+}
+
+bool PayloadRef::operator==(const PayloadRef& other) const noexcept {
+  const BytesView a = view();
+  const BytesView b = other.view();
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace p4ce::net

@@ -92,6 +92,13 @@ u32 QueuePair::packets_for(const Wqe& wqe) const noexcept {
 }
 
 Status QueuePair::post_write(u64 wr_id, Bytes data, u64 remote_vaddr, RKey rkey, bool signaled) {
+  // Take ownership of the bytes once; from here on the payload is immutable
+  // and shared by every packet (and retransmission) carved out of this WQE.
+  return post_write(wr_id, net::PayloadRef(std::move(data)), remote_vaddr, rkey, signaled);
+}
+
+Status QueuePair::post_write(u64 wr_id, net::PayloadRef data, u64 remote_vaddr, RKey rkey,
+                             bool signaled) {
   if (state_ != QpState::kRts) {
     return error(StatusCode::kFailedPrecondition, "QP not in RTS state");
   }
@@ -102,7 +109,7 @@ Status QueuePair::post_write(u64 wr_id, Bytes data, u64 remote_vaddr, RKey rkey,
   wqe.wr_id = wr_id;
   wqe.kind = Opcode::kWriteOnly;
   wqe.length = static_cast<u32>(data.size());
-  wqe.data = std::move(data);
+  wqe.payload = std::move(data);
   wqe.remote_vaddr = remote_vaddr;
   wqe.rkey = rkey;
   wqe.signaled = signaled;
@@ -197,8 +204,7 @@ void QueuePair::transmit_wqe(const Wqe& wqe) {
 
     const u64 offset = static_cast<u64>(i) * config_.mtu;
     const u64 chunk = std::min<u64>(config_.mtu, wqe.length - offset);
-    p.payload.assign(wqe.data.begin() + static_cast<std::ptrdiff_t>(offset),
-                     wqe.data.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    p.payload = wqe.payload.slice(offset, chunk);  // view, not copy
     nic_.send_packet(std::move(p));
   }
 }
@@ -276,10 +282,12 @@ void QueuePair::handle_read_response(const net::Packet& packet) {
   if (it == inflight_.end()) return;  // stale/duplicate response
   Wqe& wqe = *it;
 
+  // Land the response slice in the WQE's assembly buffer — the one
+  // materialization on the read path (the "DMA" into requester memory).
   const u64 offset = static_cast<u64>(psn_distance(wqe.first_psn, packet.bth.psn)) * config_.mtu;
-  if (wqe.data.size() < wqe.length) wqe.data.resize(wqe.length);
-  const u64 n = std::min<u64>(packet.payload.size(), wqe.length - offset);
-  std::copy_n(packet.payload.begin(), n, wqe.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  if (wqe.assembly.size() < wqe.length) wqe.assembly.resize(wqe.length);
+  packet.payload.copy_to(
+      std::span<u8>(wqe.assembly).subspan(offset, wqe.length - offset));
 
   if (packet.aeth) credits_seen_ = packet.aeth->credits;
 
@@ -287,7 +295,7 @@ void QueuePair::handle_read_response(const net::Packet& packet) {
     // Read fully assembled. Reads ahead of it in the queue are still
     // outstanding only if the responder reordered, which our in-order
     // fabric never does; complete in queue order.
-    complete(wqe, WcStatus::kSuccess, std::move(wqe.data));
+    complete(wqe, WcStatus::kSuccess, std::move(wqe.assembly));
     inflight_.erase(it);
     retry_count_ = 0;
     retransmit_timer_.cancel();
@@ -393,7 +401,7 @@ void QueuePair::handle_request(const net::Packet& packet) {
         return;
       }
       const Status st = nic_.memory().remote_write(packet.reth->rkey, packet.reth->vaddr,
-                                                   packet.payload);
+                                                   packet.payload.view());
       if (!st.is_ok()) {
         send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
         return;
@@ -417,7 +425,7 @@ void QueuePair::handle_request(const net::Packet& packet) {
         return;
       }
       const Status st = nic_.memory().remote_write(inbound_write_->rkey, inbound_write_->vaddr,
-                                                   packet.payload);
+                                                   packet.payload.view());
       if (!st.is_ok()) {
         inbound_write_.reset();
         send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
@@ -439,8 +447,9 @@ void QueuePair::handle_request(const net::Packet& packet) {
         send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
         return;
       }
-      const Bytes& bytes = data.value();
-      const u32 npkts = std::max<u32>(1, (static_cast<u32>(bytes.size()) + config_.mtu - 1) /
+      // One owned buffer for the whole response; each packet slices a view.
+      const net::PayloadRef whole(std::move(data.value()));
+      const u32 npkts = std::max<u32>(1, (static_cast<u32>(whole.size()) + config_.mtu - 1) /
                                              config_.mtu);
       ++msn_;
       ++messages_received_;
@@ -458,9 +467,8 @@ void QueuePair::handle_request(const net::Packet& packet) {
         }
         net::Packet resp = make_response_shell(op, psn_add(packet.bth.psn, i));
         const u64 off = static_cast<u64>(i) * config_.mtu;
-        const u64 chunk = std::min<u64>(config_.mtu, bytes.size() - off);
-        resp.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
-                            bytes.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+        const u64 chunk = std::min<u64>(config_.mtu, whole.size() - off);
+        resp.payload = whole.slice(off, chunk);
         if (is_last_or_only(op)) {
           resp.aeth = Aeth{.is_nak = false,
                            .nak_code = NakCode::kPsnSequenceError,

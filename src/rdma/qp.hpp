@@ -72,8 +72,16 @@ class QueuePair {
 
   // --- Requester API (verbs-like) -------------------------------------
 
-  /// Post an RDMA write of `data` to remote [vaddr, vaddr+size).
+  /// Post an RDMA write of `data` to remote [vaddr, vaddr+size). The bytes
+  /// are owned (moved) by the WQE; segmentation slices MTU-sized views of
+  /// that one buffer, so no per-packet payload copies happen. Mutating the
+  /// caller's buffer after posting therefore cannot alter in-flight packets.
   Status post_write(u64 wr_id, Bytes data, u64 remote_vaddr, RKey rkey, bool signaled = true);
+
+  /// Zero-copy variant: post an already-shared payload (e.g. one log buffer
+  /// broadcast across several QPs without duplicating the bytes).
+  Status post_write(u64 wr_id, net::PayloadRef data, u64 remote_vaddr, RKey rkey,
+                    bool signaled = true);
 
   /// Post an RDMA read of `len` bytes from remote [vaddr, vaddr+len).
   Status post_read(u64 wr_id, u64 remote_vaddr, RKey rkey, u32 len);
@@ -127,7 +135,8 @@ class QueuePair {
   struct Wqe {
     u64 wr_id = 0;
     Opcode kind = Opcode::kWriteOnly;  // kWriteOnly (any write) or kReadRequest
-    Bytes data;          // payload for writes; assembly buffer for reads
+    net::PayloadRef payload;  // writes: whole-message immutable buffer, sliced per packet
+    Bytes assembly;           // reads: mutable buffer response packets land in
     u64 remote_vaddr = 0;
     RKey rkey = 0;
     u32 length = 0;

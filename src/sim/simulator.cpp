@@ -2,26 +2,72 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace p4ce::sim {
 
-EventHandle Simulator::schedule_at(SimTime when, EventFn fn) {
+namespace detail {
+
+void note_event_heap_alloc() noexcept {
+  // Cached once; instruments are never removed from the registry.
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("sim.events_alloc");
+  c.inc();
+}
+
+}  // namespace detail
+
+EventHandle Simulator::schedule_impl(SimTime when, detail::SmallFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  auto alive = std::make_shared<bool>(true);
-  EventHandle handle{std::weak_ptr<bool>(alive)};
-  queue_.push(Event{when, next_seq_++, std::move(fn), std::move(alive)});
-  return handle;
+  u32 index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slot_count_ == slab_.size() * kSlabChunkSlots) {
+      slab_.push_back(std::make_unique<EventSlot[]>(kSlabChunkSlots));
+    }
+    index = slot_count_++;
+  }
+  EventSlot& slot = slot_at(index);
+  slot.fn = std::move(fn);
+  slot.armed = true;
+  const u64 gen = ++slot.gen;
+  queue_.push(QueueEntry{when, next_seq_++, index, gen});
+  return EventHandle(this, index, gen);
+}
+
+void Simulator::cancel_event(u32 slot_index, u64 gen) noexcept {
+  if (slot_index >= slot_count_) return;
+  EventSlot& slot = slot_at(slot_index);
+  if (slot.gen != gen || !slot.armed) return;
+  // The stale queue entry stays behind; its generation no longer matches,
+  // so step() skips it. Free the captures now (they may pin packets).
+  slot.armed = false;
+  slot.fn.reset();
+  free_slots_.push_back(slot_index);
+}
+
+bool Simulator::event_pending(u32 slot_index, u64 gen) const noexcept {
+  if (slot_index >= slot_count_) return false;
+  const EventSlot& slot = slot_at(slot_index);
+  return slot.gen == gen && slot.armed;
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; the event is moved out via const_cast,
-  // which is safe because pop() immediately destroys the moved-from shell.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  const QueueEntry entry = queue_.top();
   queue_.pop();
-  now_ = ev.when;
-  if (*ev.alive) {
+  now_ = entry.when;
+  EventSlot& slot = slot_at(entry.slot);
+  if (slot.gen == entry.gen && slot.armed) {
+    // Move the callable out and recycle the slot *before* invoking: the
+    // event may schedule new work (possibly growing the slab) or cancel
+    // other events.
+    detail::SmallFn fn = std::move(slot.fn);
+    slot.armed = false;
+    free_slots_.push_back(entry.slot);
     ++executed_;
-    ev.fn();
+    fn();
   }
   return true;
 }

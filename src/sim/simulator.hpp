@@ -1,11 +1,22 @@
 // Discrete-event simulation kernel. Single-threaded, deterministic: events at
 // equal timestamps execute in schedule order (FIFO by sequence number).
+//
+// Allocation-light by design: callables are stored in a small-buffer-
+// optimized SmallFn (inline storage sized so even packet-carrying lambdas
+// fit; larger captures fall back to the heap and bump the
+// `sim.events_alloc` counter), and cancellation uses generation counters in
+// a recycled slab of event slots instead of one shared_ptr<bool> per event.
+// The priority queue itself holds only 32-byte POD entries.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -13,27 +24,133 @@
 
 namespace p4ce::sim {
 
+/// Convenience alias for stored callbacks held by components (timers etc.);
+/// the kernel itself type-erases into SmallFn below.
 using EventFn = std::function<void()>;
 
+namespace detail {
+
+/// Bumps the `sim.events_alloc` metric (defined in simulator.cpp so this
+/// header does not depend on obs/).
+void note_event_heap_alloc() noexcept;
+
+/// Move-only type-erased callable with inline storage. Sized so the common
+/// simulation closures — timer callbacks, and lambdas carrying a whole
+/// net::Packet by value — stay allocation-free; anything bigger lives on
+/// the heap (counted).
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 240;
+
+  SmallFn() noexcept = default;
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = heap_ops<D>();
+      note_event_heap_alloc();
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* slot);
+    /// Move-construct the payload from `src` into `dst`, destroying `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* slot) noexcept;
+  };
+
+  template <class D>
+  static const Ops* inline_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* slot) { (*std::launder(reinterpret_cast<D*>(slot)))(); },
+        [](void* src, void* dst) noexcept {
+          D* from = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*from));
+          from->~D();
+        },
+        [](void* slot) noexcept { std::launder(reinterpret_cast<D*>(slot))->~D(); },
+    };
+    return &ops;
+  }
+
+  template <class D>
+  static const Ops* heap_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* slot) { (**std::launder(reinterpret_cast<D**>(slot)))(); },
+        [](void* src, void* dst) noexcept {
+          ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+        },
+        [](void* slot) noexcept { delete *std::launder(reinterpret_cast<D**>(slot)); },
+    };
+    return &ops;
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace detail
+
+class Simulator;
+
 /// Handle to a scheduled event; allows cancellation (e.g. retransmit timers).
+/// A handle is a (slot, generation) ticket into the simulator's event slab:
+/// cancel/pending compare generations, so handles to long-fired or recycled
+/// slots are always safely inert. Handles must not outlive the Simulator.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancel the event if it has not fired yet. Safe to call repeatedly.
-  void cancel() noexcept {
-    if (auto alive = alive_.lock()) *alive = false;
-  }
+  void cancel() noexcept;
 
-  bool pending() const noexcept {
-    auto alive = alive_.lock();
-    return alive && *alive;
-  }
+  bool pending() const noexcept;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<bool> alive) noexcept : alive_(std::move(alive)) {}
-  std::weak_ptr<bool> alive_;
+  EventHandle(Simulator* sim, u32 slot, u64 gen) noexcept : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  u32 slot_ = 0;
+  u64 gen_ = 0;
 };
 
 class Simulator {
@@ -45,10 +162,16 @@ class Simulator {
   SimTime now() const noexcept { return now_; }
 
   /// Schedule `fn` to run `delay` ns from now (>= 0).
-  EventHandle schedule(Duration delay, EventFn fn) { return schedule_at(now_ + delay, std::move(fn)); }
+  template <class F>
+  EventHandle schedule(Duration delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedule `fn` at absolute simulated time `when` (>= now()).
-  EventHandle schedule_at(SimTime when, EventFn fn);
+  template <class F>
+  EventHandle schedule_at(SimTime when, F&& fn) {
+    return schedule_impl(when, detail::SmallFn(std::forward<F>(fn)));
+  }
 
   /// Run until the event queue drains or `stop()` is called.
   void run();
@@ -66,28 +189,70 @@ class Simulator {
   u64 events_executed() const noexcept { return executed_; }
   bool empty() const noexcept { return queue_.empty(); }
 
+  /// Capacity introspection: currently allocated event slots (high-water of
+  /// concurrently outstanding events, recycled forever after).
+  std::size_t event_slab_size() const noexcept { return slot_count_; }
+
  private:
-  struct Event {
+  friend class EventHandle;
+
+  /// One recycled record in the event slab. `gen` is bumped every time the
+  /// slot is (re)armed, so queue entries and handles from earlier uses of
+  /// the slot can never touch the current occupant.
+  struct EventSlot {
+    detail::SmallFn fn;
+    u64 gen = 0;
+    bool armed = false;
+  };
+  /// What the priority queue actually orders: plain PODs.
+  struct QueueEntry {
     SimTime when;
     u64 seq;
-    EventFn fn;
-    std::shared_ptr<bool> alive;
+    u32 slot;
+    u64 gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  EventHandle schedule_impl(SimTime when, detail::SmallFn fn);
   bool step();  // execute the earliest event; false if queue empty
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  void cancel_event(u32 slot, u64 gen) noexcept;
+  bool event_pending(u32 slot, u64 gen) const noexcept;
+
+  // The slab grows in fixed-size chunks so slots never move (growth is one
+  // chunk allocation, not a realloc that relocates every live callable).
+  static constexpr u32 kSlabChunkShift = 8;
+  static constexpr u32 kSlabChunkSlots = 1u << kSlabChunkShift;
+
+  EventSlot& slot_at(u32 index) noexcept {
+    return slab_[index >> kSlabChunkShift][index & (kSlabChunkSlots - 1)];
+  }
+  const EventSlot& slot_at(u32 index) const noexcept {
+    return slab_[index >> kSlabChunkShift][index & (kSlabChunkSlots - 1)];
+  }
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  std::vector<std::unique_ptr<EventSlot[]>> slab_;
+  u32 slot_count_ = 0;
+  std::vector<u32> free_slots_;
   SimTime now_ = 0;
   u64 next_seq_ = 0;
   u64 executed_ = 0;
   bool stopped_ = false;
 };
+
+inline void EventHandle::cancel() noexcept {
+  if (sim_ != nullptr) sim_->cancel_event(slot_, gen_);
+}
+
+inline bool EventHandle::pending() const noexcept {
+  return sim_ != nullptr && sim_->event_pending(slot_, gen_);
+}
 
 /// A repeating timer built on the kernel; reschedules itself until stopped.
 /// Used for heartbeats, liveness checks and re-acceleration probes.

@@ -1,0 +1,66 @@
+// Determinism: two clusters built from identical options and driven by the
+// same fig5-style workload must commit the same operations in the same
+// simulated time and execute the exact same number of kernel events. This
+// pins the (when, seq) FIFO tie-break and the allocation-free event core:
+// any hidden ordering dependence (pointer order, hash order, recycled-slot
+// order) shows up here as a diverging event count.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.hpp"
+#include "workload/generators.hpp"
+
+namespace p4ce {
+namespace {
+
+struct Outcome {
+  u64 operations = 0;
+  u64 failed = 0;
+  Duration elapsed = 0;
+  u64 events = 0;
+  SimTime end_time = 0;
+  u64 leader_tx_bytes = 0;
+};
+
+Outcome run_fig5_style(consensus::Mode mode) {
+  core::ClusterOptions options;
+  options.machines = 3;
+  options.mode = mode;
+  auto cluster = core::Cluster::create(options);
+  EXPECT_TRUE(cluster->start());
+  const u32 value_size = 512;
+  const u32 batch = 16;
+  const u64 write_bytes = static_cast<u64>(batch) * consensus::entry_footprint(value_size);
+  const auto result = workload::run_batched_goodput(
+      *cluster, value_size, batch, workload::safe_window(write_bytes), /*batches=*/300,
+      /*warmup=*/50);
+  Outcome out;
+  out.operations = result.operations;
+  out.failed = result.failed;
+  out.elapsed = result.elapsed;
+  out.events = cluster->sim().events_executed();
+  out.end_time = cluster->now();
+  out.leader_tx_bytes = cluster->host_tx_wire_bytes(0);
+  return out;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<consensus::Mode> {};
+
+TEST_P(DeterminismTest, IdenticalRunsAreBitForBitEqual) {
+  const Outcome first = run_fig5_style(GetParam());
+  const Outcome second = run_fig5_style(GetParam());
+  EXPECT_GT(first.operations, 0u);
+  EXPECT_EQ(first.operations, second.operations);
+  EXPECT_EQ(first.failed, second.failed);
+  EXPECT_EQ(first.elapsed, second.elapsed);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.end_time, second.end_time);
+  EXPECT_EQ(first.leader_tx_bytes, second.leader_tx_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DeterminismTest,
+                         ::testing::Values(consensus::Mode::kP4ce, consensus::Mode::kMu));
+
+}  // namespace
+}  // namespace p4ce

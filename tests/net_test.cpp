@@ -113,8 +113,9 @@ net::Packet random_packet(Rng& rng) {
     for (auto& b : cm.private_data) b = static_cast<u8>(rng.next_u32());
     p.cm = std::move(cm);
   }
-  p.payload.resize(rng.next_below(2048));
-  for (auto& b : p.payload) b = static_cast<u8>(rng.next_u32());
+  Bytes payload(rng.next_below(2048));
+  for (auto& b : payload) b = static_cast<u8>(rng.next_u32());
+  p.payload = std::move(payload);
   return p;
 }
 
@@ -142,7 +143,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PacketRoundTripTest, ::testing::Values(1, 7, 99,
 
 TEST(Packet, WireSizeAccountsAllHeaders) {
   Packet p;
-  p.payload.resize(1024);
+  p.payload = Bytes(1024, 0);
   // eth 14 + ip 20 + udp 8 + bth 12 + payload 1024 + icrc 4 + fcs 4 = 1086.
   EXPECT_EQ(p.frame_size(), 1086u);
   EXPECT_EQ(p.wire_size(), 1086u + kPhyOverheadBytes);
@@ -189,7 +190,7 @@ struct LinkFixture : ::testing::Test {
   }
   static Packet sized(u32 payload) {
     Packet p;
-    p.payload.resize(payload);
+    p.payload = Bytes(payload, 0);
     return p;
   }
 };

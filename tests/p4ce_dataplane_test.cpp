@@ -48,7 +48,7 @@ net::Packet write_packet(Psn psn, u64 vaddr = 0x40, u32 len = 64) {
   p.bth.psn = psn;
   p.bth.ack_request = true;
   p.reth = rdma::Reth{vaddr, 0x1234, len};
-  p.payload.resize(len);
+  p.payload = Bytes(len, 0);
   return p;
 }
 
@@ -191,7 +191,7 @@ TEST_F(DataplaneFixture, MiddlePacketsRewriteOnlyAddressingAndPsn) {
   middle.bth.opcode = rdma::Opcode::kWriteMiddle;
   middle.bth.dest_qp = 0x8000;
   middle.bth.psn = 7;
-  middle.payload.resize(1024);
+  middle.payload = Bytes(1024, 0);
   auto ctx = run_ingress(std::move(middle));
   ASSERT_TRUE(ctx.mcast_group.has_value());
   ctx.replication_id = 1;

@@ -36,7 +36,7 @@ struct NicFixture : ::testing::Test {
     p.ip.dst = nic_b->ip();
     p.bth.opcode = Opcode::kWriteOnly;
     p.bth.dest_qp = dqpn;
-    p.payload.resize(32);
+    p.payload = Bytes(32, 0);
     return p;
   }
 };

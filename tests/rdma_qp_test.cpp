@@ -76,7 +76,7 @@ TEST_F(QpFixture, MultiPacketWriteSegmentsByMtu) {
 }
 
 TEST_F(QpFixture, ZeroLengthWriteIsValid) {
-  ASSERT_TRUE(qp_a->post_write(9, {}, region_b->vaddr(), region_b->rkey()).is_ok());
+  ASSERT_TRUE(qp_a->post_write(9, Bytes{}, region_b->vaddr(), region_b->rkey()).is_ok());
   sim.run();
   ASSERT_EQ(completions_a.size(), 1u);
   EXPECT_EQ(completions_a[0].status, WcStatus::kSuccess);
@@ -257,7 +257,7 @@ TEST_F(QpFixture, DuplicateDeliveryIsIdempotent) {
   dup.bth.psn = 100;  // already consumed
   dup.bth.ack_request = true;
   dup.reth = Reth{region_b->vaddr(), region_b->rkey(), 64};
-  dup.payload = data;
+  dup.payload = Bytes(data);
   qp_b->handle_packet(dup);
   sim.run();
   EXPECT_EQ(qp_b->messages_received(), received_once);  // not re-executed

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 
@@ -188,6 +189,71 @@ TEST(CpuExecutor, HaltDropsPendingTasks) {
   cpu.execute(10, [&] { ++ran; });  // ignored after halt
   sim.run();
   EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, SlabRecyclesSlotsAcrossWaves) {
+  Simulator sim;
+  int fired = 0;
+  for (int wave = 0; wave < 20; ++wave) {
+    for (int i = 0; i < 64; ++i) sim.schedule(1, [&] { ++fired; });
+    sim.run();
+  }
+  EXPECT_EQ(fired, 20 * 64);
+  // The slab's high-water mark is one wave of concurrently outstanding
+  // events, not the cumulative total.
+  EXPECT_LE(sim.event_slab_size(), 64u);
+}
+
+TEST(Simulator, StaleHandleCannotTouchRecycledSlot) {
+  Simulator sim;
+  EventHandle old = sim.schedule(1, [] {});
+  sim.run();
+  // The slot is recycled; the next event very likely reuses it. The stale
+  // handle's generation no longer matches, so cancel() must be inert.
+  bool fired = false;
+  EventHandle fresh = sim.schedule(1, [&] { fired = true; });
+  old.cancel();
+  EXPECT_FALSE(old.pending());
+  EXPECT_TRUE(fresh.pending());
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelledSlotIsReused) {
+  Simulator sim;
+  EventHandle h = sim.schedule(100, [] {});
+  h.cancel();
+  bool fired = false;
+  sim.schedule(10, [&] { fired = true; });
+  EXPECT_EQ(sim.event_slab_size(), 1u);  // the cancelled slot was recycled
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, SmallCapturesDoNotHeapAllocate) {
+  auto& alloc_counter = obs::MetricsRegistry::global().counter("sim.events_alloc");
+  Simulator sim;
+  const u64 before = alloc_counter.value();
+  int x = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule(i, [&sim, &x, i] { x += i + static_cast<int>(sim.now()); });
+  }
+  sim.run();
+  EXPECT_EQ(alloc_counter.value(), before);
+
+  // An oversized capture falls back to the heap — and is counted.
+  struct Big {
+    unsigned char blob[1024] = {};
+  } big;
+  bool fired = false;
+  sim.schedule(1, [big, &fired] {
+    fired = true;
+    (void)big;
+  });
+  EXPECT_EQ(alloc_counter.value(), before + 1);
+  sim.run();
+  EXPECT_TRUE(fired);
 }
 
 class EventStormTest : public ::testing::TestWithParam<int> {};

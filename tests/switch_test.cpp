@@ -176,7 +176,7 @@ struct SwitchFixture : ::testing::Test {
     net::Packet p;
     p.ip.src = net::make_ip(0, 10);
     p.ip.dst = net::make_ip(0, host);
-    p.payload.resize(64);
+    p.payload = Bytes(64, 0);
     return p;
   }
 };
