@@ -30,6 +30,9 @@ std::unique_ptr<core::Cluster> make(consensus::Mode mode, u32 machines) {
 
 int main() {
   workload::BenchSession session("fig6_latency_vs_throughput");
+  // Per-stage commit-latency breakdown (p50/p99/p999 per pipeline stage) in
+  // the BENCH json — the figure's latency numbers plus where they come from.
+  session.enable_attribution();
   workload::print_header(
       "Figure 6: latency vs offered throughput, 64 B requests",
       "P4CE ~10% lower latency below saturation; Mu saturates at 1.2 M/s (2 repl.) / "

@@ -103,6 +103,12 @@ double switch_crash_ms(consensus::Mode mode) {
 
 int main() {
   workload::BenchSession session("tab4_failover");
+  // Failure runs get the full observability stack: stage attribution,
+  // periodic telemetry sampling, and the fault flight recorder so each
+  // injected crash leaves a FLIGHT_*.json with the frames around the fault.
+  session.enable_attribution();
+  session.enable_sampler(microseconds(100));
+  session.enable_flight_recorder();
   workload::print_header("Table IV: average fail-over times",
                          "replica: 0.1 / 40.1 ms; leader: 0.9 / 40.9 ms; switch: 60 / 60 ms");
 

@@ -46,6 +46,12 @@ for key, ref in baseline.items():
 
 sys.exit(1 if failed else 0)
 EOF
+
+  echo "== bench JSON schema check =="
+  # The perf smoke's BENCH file plus whatever the test run emitted (the
+  # chaos suite writes FLIGHT_*.json into build/tests).
+  python3 scripts/check_bench_json.py BENCH_micro_packet.json \
+    $(ls build/tests/FLIGHT_*.json build/tests/SERIES_*.json 2>/dev/null || true)
 fi
 
 if [[ "$sanitize" == 1 ]]; then

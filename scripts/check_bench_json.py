@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Schema check for the bench harness's JSON artefacts.
+
+Validates every BENCH_*.json (and any SERIES_*.json / FLIGHT_*.json) given on
+the command line — or globbed from the current directory when no arguments
+are passed:
+
+  * the file parses as JSON and contains no non-finite numbers (NaN/Inf
+    anywhere in the tree poisons downstream plotting silently);
+  * BENCH files carry the p4ce-bench-v1 envelope: "schema", "bench",
+    a "values" object and a "tables" array of {title, columns, rows};
+  * latency-named values are non-negative (table *cells* are exempt —
+    tab4 legitimately prints "-1.00" for a timed-out scenario);
+  * an "attribution" report, when present, has non-negative stage
+    histograms with monotone p50 <= p99 <= p999;
+  * SERIES files carry p4ce-series-v1 with column-aligned frames;
+  * FLIGHT files carry p4ce-flight-v1 with per-capture frames.
+
+Exits non-zero on the first malformed file, failing tier-1.
+"""
+import glob
+import json
+import math
+import sys
+
+
+def fail(path, msg):
+    print(f"  BAD {path}: {msg}")
+    return False
+
+
+def finite_tree(path, node, where="$"):
+    """Reject NaN/Inf anywhere (json.load happily parses bare NaN)."""
+    if isinstance(node, float) and not math.isfinite(node):
+        return fail(path, f"non-finite number at {where}")
+    if isinstance(node, dict):
+        return all(finite_tree(path, v, f"{where}.{k}") for k, v in node.items())
+    if isinstance(node, list):
+        return all(finite_tree(path, v, f"{where}[{i}]") for i, v in enumerate(node))
+    return True
+
+
+def check_histogram(path, hist, where):
+    ok = True
+    for key, value in hist.items():
+        if key.endswith("_ns") and isinstance(value, (int, float)) and value < 0:
+            ok = fail(path, f"negative latency {where}.{key} = {value}")
+    p50, p99, p999 = (hist.get(k, 0) for k in ("p50_ns", "p99_ns", "p999_ns"))
+    if not (p50 <= p99 <= p999):
+        ok = fail(path, f"non-monotone quantiles at {where}: {p50} / {p99} / {p999}")
+    return ok
+
+
+def check_bench(path, doc):
+    ok = True
+    if doc.get("schema") != "p4ce-bench-v1":
+        ok = fail(path, f"schema is {doc.get('schema')!r}, want p4ce-bench-v1")
+    if not isinstance(doc.get("bench"), str):
+        ok = fail(path, "missing \"bench\" name")
+    values = doc.get("values")
+    if not isinstance(values, dict):
+        return fail(path, "missing \"values\" object")
+    for key, value in values.items():
+        if not isinstance(value, (int, float)):
+            ok = fail(path, f"values.{key} is not a number")
+        elif ("latency" in key or key.endswith("_ns") or key.endswith("_us")) and value < 0:
+            ok = fail(path, f"negative latency values.{key} = {value}")
+    tables = doc.get("tables")
+    if not isinstance(tables, list):
+        return fail(path, "missing \"tables\" array")
+    for i, table in enumerate(tables):
+        if not isinstance(table.get("title"), str):
+            ok = fail(path, f"tables[{i}] has no title")
+        columns = table.get("columns")
+        if not isinstance(columns, list) or not columns:
+            ok = fail(path, f"tables[{i}] has no columns")
+            continue
+        for j, row in enumerate(table.get("rows", [])):
+            if len(row) != len(columns):
+                ok = fail(path, f"tables[{i}].rows[{j}]: {len(row)} cells vs "
+                                f"{len(columns)} columns")
+    attribution = doc.get("attribution")
+    if attribution is not None:
+        if not isinstance(attribution.get("rounds"), int):
+            ok = fail(path, "attribution report has no round count")
+        ok &= check_histogram(path, attribution.get("total", {}), "attribution.total")
+        for stage, hist in attribution.get("stages", {}).items():
+            ok &= check_histogram(path, hist, f"attribution.stages.{stage}")
+    return ok
+
+
+def check_series(path, doc):
+    ok = True
+    if doc.get("schema") != "p4ce-series-v1":
+        ok = fail(path, f"schema is {doc.get('schema')!r}, want p4ce-series-v1")
+    series = doc.get("series")
+    if not isinstance(series, list):
+        return fail(path, "missing \"series\" column list")
+    for i, frame in enumerate(doc.get("frames", [])):
+        # Row layout: [t_ns, epoch, v0, v1, ...] padded to the column count.
+        if len(frame) != 2 + len(series):
+            ok = fail(path, f"frames[{i}]: {len(frame)} fields vs "
+                            f"{2 + len(series)} expected")
+    return ok
+
+
+def check_flight(path, doc):
+    ok = True
+    if doc.get("schema") != "p4ce-flight-v1":
+        ok = fail(path, f"schema is {doc.get('schema')!r}, want p4ce-flight-v1")
+    captures = doc.get("captures")
+    if not isinstance(captures, list):
+        return fail(path, "missing \"captures\" array")
+    for i, cap in enumerate(captures):
+        if not cap.get("kind"):
+            ok = fail(path, f"captures[{i}] has no kind")
+        if not isinstance(cap.get("at_ns"), (int, float)):
+            ok = fail(path, f"captures[{i}] has no at_ns")
+    return ok
+
+
+def main(argv):
+    paths = argv[1:]
+    if not paths:
+        paths = sorted(glob.glob("BENCH_*.json") + glob.glob("SERIES_*.json") +
+                       glob.glob("FLIGHT_*.json"))
+    if not paths:
+        print("check_bench_json: no artefacts found")
+        return 1
+
+    all_ok = True
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            all_ok = fail(path, f"unparseable: {e}")
+            continue
+        ok = finite_tree(path, doc)
+        name = path.rsplit("/", 1)[-1]
+        if name.startswith("SERIES_"):
+            ok &= check_series(path, doc)
+        elif name.startswith("FLIGHT_"):
+            ok &= check_flight(path, doc)
+        else:
+            ok &= check_bench(path, doc)
+        print(f"  {'ok ' if ok else 'BAD'} {path}")
+        all_ok &= ok
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

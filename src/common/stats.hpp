@@ -63,6 +63,7 @@ class LatencyHistogram {
 
   double p50_ns() const noexcept { return quantile_ns(0.50); }
   double p99_ns() const noexcept { return quantile_ns(0.99); }
+  double p999_ns() const noexcept { return quantile_ns(0.999); }
 
   void reset() noexcept;
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -113,9 +114,11 @@ void MuCommunicator::replicate(u64 offset, Bytes entry, u64 seq, DoneFn done) {
       if (target.excluded || target.qp == nullptr) return;
       if (obs::Tracer::is_enabled()) {
         // One CPU-serialized post per replica: this per-target span is the
-        // leader-capacity division the P4CE scatter removes (§V-C).
+        // leader-capacity division the P4CE scatter removes (§V-C). The last
+        // post wins the attribution mark (mark_post_done keeps the max).
         obs::Tracer::global().span(seq, "leader.post", t_replicate, sim_.now(), "replica",
                                    target.id);
+        obs::Tracer::global().mark_post_done(seq, sim_.now());
       }
       const Status st =
           target.qp->post_write(seq, entry, target.log_vaddr + offset, target.log_rkey);
@@ -212,7 +215,12 @@ P4ceCommunicator::P4ceCommunicator(sim::Simulator& sim, sim::CpuExecutor& cpu,
   switch_cq_.set_callback([this](const rdma::Completion& c) { on_switch_completion(c); });
 }
 
-P4ceCommunicator::~P4ceCommunicator() = default;
+P4ceCommunicator::~P4ceCommunicator() {
+  // The switch QP (owned by the NIC) holds a reference to our switch_cq_
+  // member; destroy it with us or a late retransmit timeout completes into
+  // freed memory (seen as a chaos-test use-after-free on re-route).
+  if (switch_qp_ != nullptr) nic_.destroy_qp(switch_qp_->qpn());
+}
 
 void P4ceCommunicator::start_fallback(u64 term) {
   term_ = term;
@@ -245,7 +253,9 @@ void P4ceCommunicator::activate(u64 term, std::function<void(Status)> on_ready) 
   constexpr Duration kGroupSetupTimeout = 500'000'000;
   nic_.cm().connect(
       switch_ip_, p4::kServiceP4ceGroup, *switch_qp_, request.encode(),
-      [this, on_ready = std::move(on_ready)](StatusOr<rdma::CmAgent::ConnectResult> result) {
+      [this, alive = std::weak_ptr<char>(alive_),
+       on_ready = std::move(on_ready)](StatusOr<rdma::CmAgent::ConnectResult> result) {
+        if (alive.expired()) return;  // communicator destroyed mid-handshake
         if (!result.is_ok()) {
           enter_fallback();
           if (on_ready) on_ready(result.status());
@@ -302,8 +312,9 @@ void P4ceCommunicator::replicate(u64 offset, Bytes entry, u64 seq, DoneFn done) 
       // hooks can attribute its scatter/gather packets to this instance.
       const u32 npkts =
           entry.empty() ? 1 : (static_cast<u32>(entry.size()) + cal_.mtu - 1) / cal_.mtu;
-      tracer.map_wire(seq, switch_qp_->planned_next_psn(), npkts);
+      tracer.map_wire(seq, switch_qp_->planned_next_psn(), npkts, bcast_qpn_);
       tracer.span(seq, "leader.post", t_replicate, sim_.now());
+      tracer.mark_post_done(seq, sim_.now());
     }
     const Status st =
         switch_qp_->post_write(seq, std::move(entry), virtual_base_ + offset, virtual_rkey_);
@@ -321,6 +332,7 @@ void P4ceCommunicator::on_switch_completion(const rdma::Completion& c) {
   const SimTime t_ack = sim_.now();
   if (obs::Tracer::is_enabled()) {
     obs::Tracer::global().instant(c.wr_id, "leader.ack_rx", t_ack);
+    obs::Tracer::global().mark_ack_rx(c.wr_id, t_ack);
   }
   cpu_.execute(cal_.cpu_completion, [this, seq = c.wr_id, t_ack] {
     auto it = accel_pending_.find(seq);
@@ -340,6 +352,9 @@ void P4ceCommunicator::enter_fallback() {
   if (fallbacks_ == 0) accel_ops_at_first_fallback_ = accel_ops_;
   ++fallbacks_;
   CommMetrics::get().fallbacks.inc();
+  if (obs::FlightRecorder::is_enabled()) {
+    obs::FlightRecorder::global().trigger("fallback", sim_.now(), "node", self_);
+  }
   // Silence the accelerated QP: everything outstanding is replayed over the
   // direct connections below, and its go-back-N must not keep fighting.
   if (switch_qp_ != nullptr) switch_qp_->reset();
@@ -403,7 +418,8 @@ void P4ceCommunicator::exclude_replica(NodeId id) {
   }
   nic_.cm().connect_virtual(
       switch_ip_, p4::kServiceP4ceUpdate, bcast_qpn_, 0, request.encode(),
-      [this](StatusOr<rdma::CmAgent::ConnectResult> result) {
+      [this, alive = std::weak_ptr<char>(alive_)](StatusOr<rdma::CmAgent::ConnectResult> result) {
+        if (alive.expired()) return;  // communicator destroyed mid-update
         update_in_flight_ = false;
         if (!result.is_ok() && state_ == State::kAccelerated) {
           enter_fallback();

@@ -196,6 +196,10 @@ class P4ceCommunicator : public Communicator {
   u64 term_ = 0;
 
   State state_ = State::kInactive;
+  /// CM handshakes outlive us when a re-route destroys the communicator
+  /// mid-connect; their callbacks capture a weak_ptr to this token and
+  /// return early once it expires instead of touching freed state.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   rdma::CompletionQueue switch_cq_;
   rdma::QueuePair* switch_qp_ = nullptr;
   u64 virtual_base_ = 0;

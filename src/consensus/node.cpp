@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "p4ce/tables.hpp"
@@ -96,6 +97,17 @@ Node::Node(sim::Simulator& sim, rdma::Nic& nic, rdma::MemoryManager& memory,
 
   // Replicas consume their log as the DMA writes land.
   log_mr_->set_write_hook([this](u64, u64) { on_log_bytes_written(); });
+
+  // Per-domain gauges: plain value stores (no sim events), so they are safe
+  // to keep unconditionally hot like the counters above.
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string domain = std::to_string(options_.domain);
+  commit_index_gauge_ =
+      &registry.gauge(obs::MetricsRegistry::label("consensus.commit_index", {{"domain", domain}}));
+  term_gauge_ =
+      &registry.gauge(obs::MetricsRegistry::label("consensus.term", {{"domain", domain}}));
+  leader_active_gauge_ = &registry.gauge(
+      obs::MetricsRegistry::label("consensus.leader_active", {{"domain", domain}}));
 }
 
 Node::~Node() = default;
@@ -372,6 +384,9 @@ void Node::reevaluate_view() {
 void Node::on_peer_died(u32 peer_index) {
   const NodeId dead = peers_[peer_index].id;
   NodeMetrics::get().exclusions.inc();
+  if (obs::FlightRecorder::is_enabled()) {
+    obs::FlightRecorder::global().trigger("replica_excluded", sim_.now(), "node", dead);
+  }
   if (leader_active_ && communicator_ != nullptr) {
     // "the leader simply excludes the replica" (Mu) / asks the switch CP to
     // reprogram the group (P4CE, +40 ms).
@@ -384,6 +399,10 @@ void Node::start_campaign() {
   NodeMetrics::get().elections.inc();
   campaigning_ = true;
   campaign_term_ = term_ + 1;
+  // Term 1 is the boot election; anything later means a view was lost.
+  if (obs::FlightRecorder::is_enabled() && campaign_term_ > 1) {
+    obs::FlightRecorder::global().trigger("term_change", sim_.now(), "term", campaign_term_);
+  }
   grants_.clear();
   granted_to_ = options_.id;  // a candidate trivially grants itself
   apply_permissions(options_.id);
@@ -425,8 +444,10 @@ void Node::on_control_message(const ControlMessage& msg) {
         return;
       }
       term_ = msg.term;
+      term_gauge_->set(static_cast<double>(term_));
       if (leader_active_) {
         leader_active_ = false;
+        leader_active_gauge_->set(0);
         if (communicator_) communicator_->abort_all();
       }
       // "Once a replica has chosen another machine as the current leader, it
@@ -566,12 +587,14 @@ std::unique_ptr<Communicator> Node::make_communicator() {
     auto comm = std::make_unique<P4ceCommunicator>(sim_, cpu_, options_.cal, f_needed,
                                                    build_targets(), nic_, options_.switch_ip,
                                                    options_.id, std::move(hooks));
-    comm->set_start_seq(next_op_);
+    // Op ids are domain-namespaced trace keys; the sequencer must expect the
+    // same namespace or domain > 0 commits would never drain.
+    comm->set_start_seq(obs::trace_key(options_.domain, next_op_));
     return comm;
   }
   auto comm = std::make_unique<MuCommunicator>(sim_, cpu_, options_.cal, f_needed,
                                                build_targets());
-  comm->set_start_seq(next_op_);
+  comm->set_start_seq(obs::trace_key(options_.domain, next_op_));
   return comm;
 }
 
@@ -632,6 +655,11 @@ void Node::finish_recovery(u64 max_seq, u64 tail_offset) {
   next_seq_ = std::max(next_seq_, max_seq + 1);
   next_seq_ = std::max(next_seq_, reader_->last_seq() + 1);
   leader_active_ = true;
+  term_gauge_->set(static_cast<double>(term_));
+  leader_active_gauge_->set(1);
+  if (obs::FlightRecorder::is_enabled() && term_ > 1) {
+    obs::FlightRecorder::global().trigger("leader_failover", sim_.now(), "term", term_);
+  }
   // The adopted log may extend past what some (or all) replicas hold — e.g.
   // this leader's own un-acknowledged suffix from before a crash. Refill
   // them now, or their readers would wait at the hole forever.
@@ -705,17 +733,19 @@ Status Node::propose(Bytes value, CommitFn done) {
     if (append.value().wrap) {
       communicator_->write_raw(append.value().wrap->first, append.value().wrap->second);
     }
-    const u64 op = next_op_++;
+    const u64 op = obs::trace_key(options_.domain, next_op_++);
     if (obs::Tracer::is_enabled()) {
       auto& tracer = obs::Tracer::global();
       tracer.begin_round(op, t_propose);
       tracer.span(op, "propose", t_propose, sim_.now(), "seq", seq);
+      tracer.mark_propose_done(op, sim_.now());
     }
     communicator_->replicate(append.value().offset, std::move(append.value().bytes), op,
                              [this, seq, op, t_propose, done = std::move(done)](Status st) {
                                if (st.is_ok()) {
                                  ++commits_;
                                  NodeMetrics::get().commits.inc();
+                                 commit_index_gauge_->set(static_cast<double>(seq));
                                } else {
                                  NodeMetrics::get().commit_failures.inc();
                                }
@@ -758,12 +788,13 @@ Status Node::propose_batch(std::vector<Bytes> values, CommitFn done) {
     if (append.value().wrap) {
       communicator_->write_raw(append.value().wrap->first, append.value().wrap->second);
     }
-    const u64 op = next_op_++;
+    const u64 op = obs::trace_key(options_.domain, next_op_++);
     const u64 last_seq = next_seq_ - 1;
     if (obs::Tracer::is_enabled()) {
       auto& tracer = obs::Tracer::global();
       tracer.begin_round(op, t_propose);
       tracer.span(op, "propose", t_propose, sim_.now(), "batch", values.size());
+      tracer.mark_propose_done(op, sim_.now());
     }
     communicator_->replicate(append.value().offset, std::move(append.value().bytes), op,
                              [this, last_seq, op, t_propose, n = values.size(),
@@ -771,6 +802,7 @@ Status Node::propose_batch(std::vector<Bytes> values, CommitFn done) {
                                if (st.is_ok()) {
                                  commits_ += n;
                                  NodeMetrics::get().commits.inc(n);
+                                 commit_index_gauge_->set(static_cast<double>(last_seq));
                                } else {
                                  NodeMetrics::get().commit_failures.inc();
                                }
@@ -848,6 +880,7 @@ void Node::update_progress() {
 
 void Node::crash() {
   crashed_ = true;
+  if (leader_active_) leader_active_gauge_->set(0);
   leader_active_ = false;
   campaigning_ = false;
   campaign_retry_.cancel();
@@ -885,6 +918,9 @@ void Node::on_qp_error(NodeId peer_id) {
 void Node::begin_reroute() {
   if (rerouting_ || crashed_) return;
   NodeMetrics::get().reroutes.inc();
+  if (obs::FlightRecorder::is_enabled()) {
+    obs::FlightRecorder::global().trigger("reroute", sim_.now(), "node", options_.id);
+  }
   rerouting_ = true;
   switch_dead_hint_ = true;
   // Silence on the dead path said nothing about the peers: treat everyone
@@ -892,6 +928,7 @@ void Node::begin_reroute() {
   heartbeat_->reset_all_alive();
   heartbeat_->set_frozen(true);
   heartbeat_->stop();
+  if (leader_active_) leader_active_gauge_->set(0);
   leader_active_ = false;
   if (communicator_) {
     communicator_->abort_all();

@@ -18,6 +18,7 @@
 #include "consensus/heartbeat.hpp"
 #include "consensus/log.hpp"
 #include "consensus/mailbox.hpp"
+#include "obs/metrics.hpp"
 #include "rdma/nic.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
@@ -30,6 +31,7 @@ inline constexpr u32 kMaxNodes = 16;
 
 struct NodeOptions {
   NodeId id = 0;
+  u32 domain = 0;  ///< replication domain (consensus group) this node is in
   Mode mode = Mode::kP4ce;
   u64 log_size = 64ull << 20;
   Calibration cal;
@@ -229,6 +231,12 @@ class Node {
   bool switch_dead_hint_ = false;  ///< set after re-routing around the switch
   std::set<NodeId> recent_qp_errors_;
   sim::EventHandle qp_error_window_;
+
+  // Per-domain telemetry series (registered in the constructor; the sampler
+  // turns these into time series, e.g. the commit index over a failover).
+  obs::Gauge* commit_index_gauge_ = nullptr;
+  obs::Gauge* term_gauge_ = nullptr;
+  obs::Gauge* leader_active_gauge_ = nullptr;
 
   DeliverFn user_deliver_;
   std::function<void(u64)> on_leader_active_;

@@ -66,6 +66,7 @@ std::unique_ptr<Cluster> Cluster::create(const ClusterOptions& options) {
     }
     consensus::NodeOptions node_options;
     node_options.id = i;
+    node_options.domain = domain;
     node_options.mode = options.mode;
     node_options.log_size = options.log_size;
     node_options.cal = options.cal;
@@ -74,6 +75,12 @@ std::unique_ptr<Cluster> Cluster::create(const ClusterOptions& options) {
     Host& host = *cluster->hosts_[i];
     host.node = std::make_unique<consensus::Node>(sim, host.nic, host.memory, host.cpu,
                                                   node_options, std::move(peers));
+  }
+
+  // Telemetry: only when the sampler is armed does the cluster schedule its
+  // periodic snapshot events — a disabled run stays byte-identical.
+  if (obs::Sampler::is_enabled()) {
+    cluster->sampler_driver_ = std::make_unique<obs::SamplerDriver>(sim);
   }
 
   return cluster;

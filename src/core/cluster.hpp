@@ -12,6 +12,7 @@
 #include "consensus/calibration.hpp"
 #include "consensus/node.hpp"
 #include "net/packet.hpp"
+#include "obs/sampler.hpp"
 #include "p4ce/control_plane.hpp"
 #include "p4ce/dataplane.hpp"
 #include "rdma/nic.hpp"
@@ -106,6 +107,9 @@ class Cluster {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<net::Link>> primary_links_;
   std::vector<std::unique_ptr<net::Link>> backup_links_;
+  // Declared after sim_ so its destructor (which cancels the pending tick)
+  // runs before the simulator is torn down.
+  std::unique_ptr<obs::SamplerDriver> sampler_driver_;
 };
 
 /// Addressing plan shared by tests and benches.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 
 namespace p4ce::obs {
@@ -16,10 +17,25 @@ void Tracer::enable(u32 sample_every, std::size_t max_events) {
   sample_ = sample_every == 0 ? 1 : sample_every;
   max_events_ = max_events;
   overflowed_ = false;
+  events_on_ = true;
   g_enabled_ = true;
 }
 
-void Tracer::disable() noexcept { g_enabled_ = false; }
+void Tracer::enable_attribution(u32 sample_every) {
+  if (sample_every > 0) {
+    sample_ = sample_every;
+  } else if (!events_on_) {
+    sample_ = 1;
+  }
+  attr_on_ = true;
+  g_enabled_ = true;
+}
+
+void Tracer::disable() noexcept {
+  g_enabled_ = false;
+  events_on_ = false;
+  attr_on_ = false;
+}
 
 void Tracer::clear() {
   events_.clear();
@@ -35,6 +51,7 @@ Tracer::Round* Tracer::find_round(u64 instance) noexcept {
 }
 
 void Tracer::push(Event event) {
+  if (!events_on_) return;
   if (events_.size() >= max_events_) {
     overflowed_ = true;
     return;
@@ -61,21 +78,41 @@ void Tracer::instant(u64 instance, const char* name, SimTime at, const char* arg
   push(Event{instance, name, at, -1, arg_name, arg});
 }
 
-void Tracer::map_wire(u64 instance, Psn first_psn, u32 npkts) {
+void Tracer::map_wire(u64 instance, Psn first_psn, u32 npkts, Qpn qpn) {
   Round* round = find_round(instance);
   if (round == nullptr) return;
   round->has_wire = true;
   round->first_psn = first_psn & kPsnMask;
   round->npkts = std::max<u32>(npkts, 1);
+  round->wire_qpn = qpn;
 }
 
-u64 Tracer::instance_for_psn(Psn psn) const noexcept {
+u64 Tracer::instance_for_psn(Psn psn, Qpn qpn) const noexcept {
   for (const auto& round : active_) {
     if (!round.has_wire) continue;
+    if (qpn != 0 && round.wire_qpn != 0 && round.wire_qpn != qpn) continue;
     const i32 d = psn_distance(round.first_psn, psn & kPsnMask);
     if (d >= 0 && d < static_cast<i32>(round.npkts)) return round.instance;
   }
   return 0;
+}
+
+void Tracer::mark_propose_done(u64 instance, SimTime at) {
+  Round* round = find_round(instance);
+  if (round == nullptr) return;
+  round->propose_end = std::max(round->propose_end, at);
+}
+
+void Tracer::mark_post_done(u64 instance, SimTime at) {
+  Round* round = find_round(instance);
+  if (round == nullptr) return;
+  round->post_end = std::max(round->post_end, at);
+}
+
+void Tracer::mark_ack_rx(u64 instance, SimTime at) {
+  Round* round = find_round(instance);
+  if (round == nullptr) return;
+  if (round->ack_rx < 0) round->ack_rx = at;
 }
 
 void Tracer::on_scatter(u64 instance, SimTime at) {
@@ -104,6 +141,7 @@ void Tracer::on_quorum(u64 instance, SimTime at) {
   Round* round = find_round(instance);
   if (round == nullptr) return;
   round->gather_last = std::max(round->gather_last, at);
+  if (round->quorum_at < 0) round->quorum_at = at;
   push(Event{instance, "gather.quorum", at, -1, nullptr, 0});
 }
 
@@ -124,6 +162,29 @@ void Tracer::end_round(u64 instance, SimTime end, bool committed) {
   }
   push(Event{instance, "round", round.start, std::max<Duration>(end - round.start, 1),
              "committed", committed ? 1u : 0u});
+
+  if (attr_on_) {
+    RoundTiming timing;
+    timing.key = round.instance;
+    timing.start = round.start;
+    timing.propose_end = round.propose_end;
+    timing.post_end = round.post_end;
+    timing.scatter_first = round.scatter_first;
+    timing.scatter_last = round.scatter_last;
+    timing.gather_first = round.gather_first;
+    timing.quorum_at = round.quorum_at;
+    timing.ack_rx = round.ack_rx;
+    timing.end = end;
+    timing.committed = committed;
+    LatencyAttribution::global().record_round(timing);
+  }
+}
+
+std::vector<Tracer::InFlight> Tracer::active_rounds() const {
+  std::vector<InFlight> out;
+  out.reserve(active_.size());
+  for (const auto& round : active_) out.push_back(InFlight{round.instance, round.start});
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -189,11 +250,22 @@ std::string Tracer::to_chrome_json() const {
   out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
          "\"args\": {\"name\": \"p4ce consensus\"}}";
   for (u64 instance : instances) {
-    std::snprintf(buf, sizeof(buf),
-                  ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %llu, "
-                  "\"args\": {\"name\": \"instance %llu\"}}",
-                  static_cast<unsigned long long>(tid_of(instance)),
-                  static_cast<unsigned long long>(instance));
+    // Domain 0 keeps the historical "instance N" track names; other domains
+    // are called out explicitly so multigroup traces stay readable.
+    const u32 domain = trace_domain(instance);
+    if (domain == 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %llu, "
+                    "\"args\": {\"name\": \"instance %llu\"}}",
+                    static_cast<unsigned long long>(tid_of(instance)),
+                    static_cast<unsigned long long>(trace_op(instance)));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %llu, "
+                    "\"args\": {\"name\": \"domain %u instance %llu\"}}",
+                    static_cast<unsigned long long>(tid_of(instance)), domain,
+                    static_cast<unsigned long long>(trace_op(instance)));
+    }
     out += buf;
   }
   for (const Event* e : ordered) {

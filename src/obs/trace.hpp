@@ -4,11 +4,23 @@
 // quorum -> commit — exported as Chrome trace-event JSON so a round can be
 // inspected in about:tracing or Perfetto.
 //
+// Round keys are namespaced by replication domain (trace_key below): the
+// high 16 bits carry the domain id, the low 48 bits the per-leader operation
+// counter. Multigroup clusters run several leaders whose operation counters
+// all start at 1, so un-namespaced keys would collide across domains and
+// merge unrelated rounds into one track.
+//
 // The switch data plane never sees operation ids, only packet sequence
 // numbers, so the tracer keeps a wire map: when the leader posts the write
-// for a sampled instance it registers the PSN range the write occupies, and
-// switch-side hooks resolve PSN -> instance with a scan over the (small)
-// set of rounds currently in flight.
+// for a sampled instance it registers the PSN range (and destination QPN)
+// the write occupies, and switch-side hooks resolve (PSN, QPN) -> instance
+// with a scan over the (small) set of rounds currently in flight. The QPN
+// disambiguates domains whose leaders happen to use overlapping PSN windows.
+//
+// The tracer has two independently-enabled consumers sharing the round
+// bookkeeping: the Chrome event buffer (enable()) and the commit-latency
+// attribution sink (enable_attribution(), see obs/attribution.hpp). Either
+// flips the single `is_enabled()` bool that guards every hook.
 //
 // Cost model: every hook is guarded by `Tracer::is_enabled()`, a single
 // non-atomic bool load, so the disabled configuration adds one predictable
@@ -24,8 +36,30 @@
 
 namespace p4ce::obs {
 
+/// How many low bits of a round key hold the per-leader operation counter;
+/// the bits above carry the replication domain id.
+inline constexpr u32 kTraceOpBits = 48;
+
+/// Build a domain-namespaced round key. Domain 0 keys equal the raw
+/// operation id, so single-domain clusters are unaffected.
+constexpr u64 trace_key(u32 domain, u64 op) noexcept {
+  return (static_cast<u64>(domain) << kTraceOpBits) | (op & ((u64{1} << kTraceOpBits) - 1));
+}
+constexpr u32 trace_domain(u64 key) noexcept {
+  return static_cast<u32>(key >> kTraceOpBits);
+}
+constexpr u64 trace_op(u64 key) noexcept {
+  return key & ((u64{1} << kTraceOpBits) - 1);
+}
+
 class Tracer {
  public:
+  /// One in-flight round, as exposed to the flight recorder.
+  struct InFlight {
+    u64 key = 0;
+    SimTime start = 0;
+  };
+
   /// The process-wide tracer the stack's hooks report to.
   static Tracer& global();
 
@@ -33,24 +67,33 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// The hot-path guard: false until enable() is called.
+  /// The hot-path guard: false until enable() or enable_attribution().
   static bool is_enabled() noexcept { return g_enabled_; }
 
-  /// Start recording. Rounds whose instance id is divisible by
-  /// `sample_every` are traced; recording stops (new events are dropped)
-  /// once `max_events` have been buffered.
+  /// Start recording Chrome trace events. Rounds whose operation id is
+  /// divisible by `sample_every` are traced; recording stops (new events
+  /// are dropped) once `max_events` have been buffered.
   void enable(u32 sample_every = 1, std::size_t max_events = 1u << 20);
+  /// Start feeding per-stage round timings to LatencyAttribution without
+  /// buffering Chrome events. `sample_every` of 0 keeps the current rate
+  /// (or 1 when event tracing is off, so attribution sees every round).
+  void enable_attribution(u32 sample_every = 0);
+  /// Stop both consumers.
   void disable() noexcept;
   /// Drop all buffered events and in-flight rounds (keeps enabled state).
   void clear();
 
+  bool events_enabled() const noexcept { return events_on_; }
+  bool attribution_enabled() const noexcept { return attr_on_; }
   u32 sample_every() const noexcept { return sample_; }
   bool overflowed() const noexcept { return overflowed_; }
   std::size_t event_count() const noexcept { return events_.size(); }
 
-  /// Whether this instance should be traced. Valid instance ids are >= 1.
+  /// Whether this instance should be traced. Valid operation ids are >= 1;
+  /// sampling applies to the operation id, not the namespaced key, so a
+  /// rate of e.g. 10 picks every 10th round in *every* domain.
   bool sampled(u64 instance) const noexcept {
-    return g_enabled_ && instance != 0 && instance % sample_ == 0;
+    return g_enabled_ && trace_op(instance) != 0 && trace_op(instance) % sample_ == 0;
   }
 
   // --- Round lifecycle (leader side) ------------------------------------
@@ -69,12 +112,24 @@ class Tracer {
                const char* arg_name = nullptr, u64 arg = 0);
 
   /// Register the wire footprint of a sampled round: the posted write
-  /// occupies PSNs [first_psn, first_psn + npkts) on the leader's stream.
-  void map_wire(u64 instance, Psn first_psn, u32 npkts);
+  /// occupies PSNs [first_psn, first_psn + npkts) on the leader's stream
+  /// toward `qpn` (0 when the destination QP is unknown / unique).
+  void map_wire(u64 instance, Psn first_psn, u32 npkts, Qpn qpn = 0);
 
   /// Resolve a leader-numbered PSN to the in-flight round covering it
-  /// (0 if none is traced). Used by the switch data plane.
-  u64 instance_for_psn(Psn psn) const noexcept;
+  /// (0 if none is traced). `qpn` narrows the search to rounds whose wire
+  /// mapping targets that QP; 0 matches any mapping. Used by the switch
+  /// data plane, where concurrent domains carry overlapping PSN ranges.
+  u64 instance_for_psn(Psn psn, Qpn qpn = 0) const noexcept;
+
+  // --- Stage boundaries (attribution marks; no event emitted) -----------
+
+  /// The leader's decision CPU finished preparing the round.
+  void mark_propose_done(u64 instance, SimTime at);
+  /// The (last) replication write was handed to the NIC.
+  void mark_post_done(u64 instance, SimTime at);
+  /// The aggregated/accepting ACK arrived back at the leader NIC.
+  void mark_ack_rx(u64 instance, SimTime at);
 
   // --- Switch-side aggregates (folded into spans at end_round) ----------
 
@@ -89,8 +144,12 @@ class Tracer {
   void on_quorum(u64 instance, SimTime at);
 
   /// Close the round: emits the root "round" span plus the aggregated
-  /// "switch.scatter" and "gather" spans, and releases the wire mapping.
+  /// "switch.scatter" and "gather" spans, feeds the attribution sink, and
+  /// releases the wire mapping.
   void end_round(u64 instance, SimTime end, bool committed);
+
+  /// The rounds currently in flight (for the flight recorder).
+  std::vector<InFlight> active_rounds() const;
 
   // --- Export ------------------------------------------------------------
 
@@ -114,15 +173,20 @@ class Tracer {
     SimTime start = 0;
     Psn first_psn = 0;
     u32 npkts = 0;
+    Qpn wire_qpn = 0;
     bool has_wire = false;
     SimTime scatter_first = -1, scatter_last = -1;
     SimTime gather_first = -1, gather_last = -1;
+    SimTime propose_end = -1, post_end = -1;
+    SimTime quorum_at = -1, ack_rx = -1;
   };
 
   Round* find_round(u64 instance) noexcept;
   void push(Event event);
 
   static inline bool g_enabled_ = false;
+  bool events_on_ = false;
+  bool attr_on_ = false;
   u32 sample_ = 1;
   std::size_t max_events_ = 1u << 20;
   bool overflowed_ = false;

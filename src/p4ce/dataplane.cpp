@@ -155,8 +155,10 @@ void P4ceDataplane::ingress(sw::PacketContext& ctx) {
       DpMetrics::get().gather_occupancy.add(1);
     }
     if (obs::Tracer::is_enabled() && clock_ != nullptr) {
+      // Scope the PSN lookup to this group's BCast QP: concurrent domains
+      // run overlapping PSN windows on the same switch.
       auto& tracer = obs::Tracer::global();
-      if (const u64 inst = tracer.instance_for_psn(p.bth.psn)) {
+      if (const u64 inst = tracer.instance_for_psn(p.bth.psn, p.bth.dest_qp)) {
         tracer.on_scatter(inst, clock_->now());
       }
     }
@@ -237,7 +239,8 @@ void P4ceDataplane::ingress_gather(sw::PacketContext& ctx, u16 group_idx, u16 ri
   ++group.stats.acks_gathered;
   DpMetrics::get().acks_gathered.inc();
   const bool tracing = obs::Tracer::is_enabled() && clock_ != nullptr;
-  const u64 inst = tracing ? obs::Tracer::global().instance_for_psn(leader_psn) : 0;
+  const u64 inst =
+      tracing ? obs::Tracer::global().instance_for_psn(leader_psn, group.spec.bcast_qpn) : 0;
   if (inst != 0) obs::Tracer::global().on_ack(inst, clock_->now(), rid);
   if (count == group.spec.f_needed) {
     ++group.stats.acks_forwarded;
@@ -315,9 +318,10 @@ void P4ceDataplane::egress(sw::PacketContext& ctx) {
     DpMetrics::get().scatter_copies.inc();
     DpMetrics::get().header_rewrites.inc();
     if (obs::Tracer::is_enabled() && clock_ != nullptr) {
-      // The PSN is still leader-numbered here; resolve before the rewrite.
+      // The PSN is still leader-numbered here (and dest_qp is still the
+      // group's BCast QP); resolve before the rewrite.
       auto& tracer = obs::Tracer::global();
-      if (const u64 inst = tracer.instance_for_psn(p.bth.psn)) {
+      if (const u64 inst = tracer.instance_for_psn(p.bth.psn, p.bth.dest_qp)) {
         tracer.on_scatter_copy(inst, clock_->now(), ctx.replication_id);
       }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "rdma/nic.hpp"
 
@@ -22,6 +23,7 @@ struct QpMetrics {
   obs::Counter& gap_naks_tx;
   obs::Counter& duplicates_rx;
   obs::Gauge& ack_credits;
+  obs::Gauge& inflight;
 
   static QpMetrics& get() {
     static QpMetrics m{
@@ -33,6 +35,7 @@ struct QpMetrics {
         obs::MetricsRegistry::global().counter("rdma.qp.gap_naks_tx"),
         obs::MetricsRegistry::global().counter("rdma.qp.duplicates_rx"),
         obs::MetricsRegistry::global().gauge("rdma.qp.ack_credits"),
+        obs::MetricsRegistry::global().gauge("rdma.qp.inflight"),
     };
     return m;
   }
@@ -54,6 +57,13 @@ std::string_view to_string(QpState s) noexcept {
 QueuePair::QueuePair(sim::Simulator& sim, Nic& nic, Qpn qpn, CompletionQueue& cq, QpConfig config)
     : sim_(sim), nic_(nic), qpn_(qpn), cq_(cq), config_(config) {}
 
+QueuePair::~QueuePair() {
+  // A QP destroyed while healthy may still have a retransmit timeout
+  // scheduled; the event captures `this`, so it must not outlive the QP.
+  retransmit_timer_.cancel();
+  QpMetrics::get().inflight.add(-static_cast<double>(inflight_.size()));
+}
+
 void QueuePair::connect(Ipv4Addr remote_ip, Qpn remote_qpn, Psn our_start_psn, Psn expected_psn) {
   remote_ip_ = remote_ip;
   remote_qpn_ = remote_qpn;
@@ -68,6 +78,7 @@ void QueuePair::set_error(WcStatus flush_status) {
   if (state_ == QpState::kError) return;
   state_ = QpState::kError;
   retransmit_timer_.cancel();
+  QpMetrics::get().inflight.add(-static_cast<double>(inflight_.size()));
   // Flush everything outstanding, oldest first, as a real QP would.
   for (auto& wqe : inflight_) complete(wqe, flush_status);
   inflight_.clear();
@@ -78,6 +89,7 @@ void QueuePair::set_error(WcStatus flush_status) {
 
 void QueuePair::reset() {
   retransmit_timer_.cancel();
+  QpMetrics::get().inflight.add(-static_cast<double>(inflight_.size()));
   inflight_.clear();
   send_queue_.clear();
   inbound_write_.reset();
@@ -154,6 +166,7 @@ void QueuePair::pump_send_queue() {
     inflight_.push_back(std::move(wqe));
     ++messages_sent_;
     QpMetrics::get().msgs_sent.inc();
+    QpMetrics::get().inflight.add(1);
   }
   if (!inflight_.empty() && !retransmit_timer_.pending()) arm_timer();
 }
@@ -247,6 +260,7 @@ void QueuePair::handle_ack(const net::Packet& packet) {
       if (!inflight_.empty()) {
         complete(inflight_.front(), status);
         inflight_.pop_front();
+        QpMetrics::get().inflight.add(-1);
       }
       set_error(WcStatus::kFlushed);
     }
@@ -264,6 +278,7 @@ void QueuePair::handle_ack(const net::Packet& packet) {
     if (psn_distance(head.last_psn, packet.bth.psn) < 0) break;  // not yet covered
     complete(head, WcStatus::kSuccess);
     inflight_.pop_front();
+    QpMetrics::get().inflight.add(-1);
     progressed = true;
   }
   if (progressed) retry_count_ = 0;
@@ -297,6 +312,7 @@ void QueuePair::handle_read_response(const net::Packet& packet) {
     // fabric never does; complete in queue order.
     complete(wqe, WcStatus::kSuccess, std::move(wqe.assembly));
     inflight_.erase(it);
+    QpMetrics::get().inflight.add(-1);
     retry_count_ = 0;
     retransmit_timer_.cancel();
     if (!inflight_.empty()) arm_timer();
@@ -332,6 +348,11 @@ void QueuePair::on_timeout() {
   ++retransmissions_;
   QpMetrics::get().timeouts.inc();
   QpMetrics::get().retransmits.inc();
+  if (obs::FlightRecorder::is_enabled()) {
+    // A whole-window resend means the path went quiet; per-kind rate
+    // limiting in the recorder turns a storm into one capture.
+    obs::FlightRecorder::global().trigger("retransmit_timeout", sim_.now(), "qpn", qpn_);
+  }
   for (const auto& wqe : inflight_) transmit_wqe(wqe);
   arm_timer();
 }

@@ -50,6 +50,7 @@ struct QpConfig {
 class QueuePair {
  public:
   QueuePair(sim::Simulator& sim, Nic& nic, Qpn qpn, CompletionQueue& cq, QpConfig config);
+  ~QueuePair();
 
   Qpn qpn() const noexcept { return qpn_; }
   QpState state() const noexcept { return state_; }

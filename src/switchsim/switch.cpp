@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace p4ce::sw {
@@ -14,6 +15,13 @@ SwitchDevice::SwitchDevice(sim::Simulator& sim, std::string name, Ipv4Addr ip,
   m_ingress_drops_ = &reg.counter(obs::MetricsRegistry::label("switch.ingress_drops", {{"sw", name_}}));
   m_egress_drops_ = &reg.counter(obs::MetricsRegistry::label("switch.egress_drops", {{"sw", name_}}));
   m_punts_ = &reg.counter(obs::MetricsRegistry::label("switch.punts", {{"sw", name_}}));
+}
+
+void SwitchDevice::power_off() {
+  if (powered_ && obs::FlightRecorder::is_enabled()) {
+    obs::FlightRecorder::global().trigger("switch_failure", sim_.now(), "switch_ip", ip_);
+  }
+  powered_ = false;
 }
 
 u32 SwitchDevice::add_port() {

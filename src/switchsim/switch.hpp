@@ -67,7 +67,7 @@ class SwitchDevice {
 
   /// Crash-stop the switch: all processing ceases, packets blackhole, and
   /// peers discover the failure through RDMA timeouts (§III-A).
-  void power_off() noexcept { powered_ = false; }
+  void power_off();
   void power_on() noexcept { powered_ = true; }
   bool powered() const noexcept { return powered_; }
 

@@ -7,7 +7,10 @@
 #include <tuple>
 
 #include "common/logging.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace p4ce::workload {
@@ -102,9 +105,29 @@ BenchSession::BenchSession(std::string name) : name_(std::move(name)) {
     obs::Tracer::global().clear();
   }
 
+  // Observability pillar tri-states: unset = bench default (enable_*()),
+  // "0" = force off (even against a bench default), anything else = force on.
+  const char* attr_env = std::getenv("P4CE_ATTR");
+  attr_forced_off_ = attr_env != nullptr && std::strcmp(attr_env, "0") == 0;
+  const char* sample_env = std::getenv("P4CE_SAMPLE_US");
+  long sample_us = -1;
+  if (sample_env != nullptr && sample_env[0] != '\0') {
+    sample_us = std::strtol(sample_env, nullptr, 10);
+  }
+  sampler_forced_off_ = sample_us == 0;
+  const char* flight_env = std::getenv("P4CE_FLIGHT");
+  flight_forced_off_ = flight_env != nullptr && std::strcmp(flight_env, "0") == 0;
+
   // The dump should describe exactly this run, not whatever static
   // initialization or a previous session in the same process left behind.
   obs::MetricsRegistry::global().reset();
+  obs::LatencyAttribution::global().reset();
+  obs::Sampler::global().reset();
+  obs::FlightRecorder::global().reset();
+
+  if (attr_env != nullptr && !attr_forced_off_) enable_attribution();
+  if (sample_us > 0) enable_sampler(static_cast<Duration>(sample_us) * 1'000);
+  if (flight_env != nullptr && !flight_forced_off_) enable_flight_recorder();
 }
 
 BenchSession::~BenchSession() { finish(); }
@@ -114,6 +137,27 @@ void BenchSession::add_value(const std::string& key, double value) {
 }
 
 void BenchSession::add_table(const Table& table) { tables_.push_back(table); }
+
+void BenchSession::enable_attribution() {
+  if (attr_forced_off_ || attribution_) return;
+  attribution_ = true;
+  // Order matters: enable_attribution() keeps the tracer's sample rate when
+  // the P4CE_TRACE block above already configured one.
+  obs::Tracer::global().enable_attribution();
+  obs::LatencyAttribution::global().enable();
+}
+
+void BenchSession::enable_sampler(Duration period) {
+  if (sampler_forced_off_ || sampling_) return;
+  sampling_ = true;
+  obs::Sampler::global().enable(period);
+}
+
+void BenchSession::enable_flight_recorder() {
+  if (flight_forced_off_ || flight_) return;
+  flight_ = true;
+  obs::FlightRecorder::global().enable();
+}
 
 std::string BenchSession::path_for(const std::string& prefix) const {
   return dir_ + "/" + prefix + "_" + name_ + ".json";
@@ -156,12 +200,32 @@ void BenchSession::finish() {
     }
     out += "\n    ]}";
   }
-  out += "\n  ],\n  \"metrics\": ";
+  out += "\n  ],\n";
+  if (attribution_) {
+    out += "  \"attribution\": ";
+    obs::LatencyAttribution::global().append_json(out);
+    out += ",\n";
+  }
+  out += "  \"metrics\": ";
   obs::append_snapshot_json(out, obs::MetricsRegistry::global().snapshot());
   out += "\n}\n";
 
   if (!write_file(path_for("BENCH"), out)) {
     std::fprintf(stderr, "warning: could not write %s\n", path_for("BENCH").c_str());
+  }
+
+  if (sampling_ && obs::Sampler::global().frame_count() > 0) {
+    if (!obs::Sampler::global().write_json(path_for("SERIES"))) {
+      std::fprintf(stderr, "warning: could not write %s\n", path_for("SERIES").c_str());
+    }
+  }
+  if (flight_ && obs::FlightRecorder::global().capture_count() > 0) {
+    if (!obs::FlightRecorder::global().write_json(path_for("FLIGHT"))) {
+      std::fprintf(stderr, "warning: could not write %s\n", path_for("FLIGHT").c_str());
+    } else {
+      std::printf("\nflight recorder: %s (%zu captures)\n", path_for("FLIGHT").c_str(),
+                  obs::FlightRecorder::global().capture_count());
+    }
   }
 
   if (tracing_) {

@@ -6,6 +6,10 @@
 //      surviving machine (no committed value is ever lost).
 //   2. Deliveries are gapless, in-order sequence prefixes on every node.
 //   3. Terms only move forward.
+//
+// Every seed also runs with the telemetry sampler and the fault flight
+// recorder armed: each injected fault must leave at least one capture whose
+// telemetry window spans the fault — the flight recorder's acceptance test.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +17,9 @@
 
 #include "common/rng.hpp"
 #include "core/cluster.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 
 namespace p4ce {
 namespace {
@@ -24,6 +31,16 @@ class ChaosTest : public ::testing::TestWithParam<u64> {};
 
 TEST_P(ChaosTest, CommittedValuesSurviveArbitraryCrashSchedules) {
   Rng rng(GetParam());
+
+  // Arm the flight recorder for this seed; fresh state per run.
+  obs::MetricsRegistry::global().reset();
+  obs::Sampler::global().enable(/*period=*/microseconds(100));
+  // Generous capture budget, but a wide per-kind gap: a post-crash
+  // retransmit storm must not exhaust the budget before the (later) switch
+  // crash gets its capture.
+  obs::FlightRecorder::global().enable(/*max_captures=*/64, /*frame_window=*/256,
+                                       /*min_gap=*/milliseconds(2));
+  obs::FlightRecorder::global().reset();
 
   ClusterOptions options;
   options.machines = 5;
@@ -97,6 +114,7 @@ TEST_P(ChaosTest, CommittedValuesSurviveArbitraryCrashSchedules) {
   // committed sequence number.
   const u64 max_committed = *committed_seqs.rbegin();
   cluster->run_for(milliseconds(20));  // drain deliveries
+  *pump = nullptr;  // break the pump's self-referential keep-alive cycle
   for (u32 i = 0; i < 5; ++i) {
     if (killed.contains(i)) continue;
     const u64 delivered = cluster->node(i).last_delivered_seq();
@@ -118,6 +136,33 @@ TEST_P(ChaosTest, CommittedValuesSurviveArbitraryCrashSchedules) {
   const u64 gaps = range - committed_seqs.size();
   EXPECT_LE(gaps, 3u * consensus::Calibration().max_outstanding)
       << "more committed-sequence gaps than crash-aborted windows can explain";
+
+  // Flight recorder: every seed injects at least one machine crash, so at
+  // least one capture must exist, with a telemetry window leading up to it.
+  auto& recorder = obs::FlightRecorder::global();
+  ASSERT_GE(recorder.capture_count(), 1u)
+      << "faults were injected but the flight recorder captured nothing";
+  for (const auto& cap : recorder.captures()) {
+    EXPECT_FALSE(cap.kind.empty());
+    ASSERT_FALSE(cap.frames.empty())
+        << "capture '" << cap.kind << "' froze no telemetry frames";
+    EXPECT_LE(cap.frames.front().at, cap.at);
+    EXPECT_LE(cap.frames.back().at, cap.at);
+    EXPECT_FALSE(cap.series.empty());
+  }
+  if (kill_switch) {
+    const bool saw_switch_capture =
+        std::any_of(recorder.captures().begin(), recorder.captures().end(),
+                    [](const auto& cap) { return cap.kind == "switch_failure"; });
+    EXPECT_TRUE(saw_switch_capture) << "switch crash left no capture";
+  }
+  // The artefact the issue asks a chaos run to produce.
+  std::ignore = recorder.write_json("FLIGHT_chaos_seed" + std::to_string(GetParam()) + ".json");
+
+  obs::Sampler::global().disable();
+  obs::Sampler::global().reset();
+  recorder.disable();
+  recorder.reset();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,

@@ -9,6 +9,11 @@
 #include <memory>
 
 #include "core/cluster.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "workload/generators.hpp"
 
 namespace p4ce {
@@ -61,6 +66,53 @@ TEST_P(DeterminismTest, IdenticalRunsAreBitForBitEqual) {
 
 INSTANTIATE_TEST_SUITE_P(Modes, DeterminismTest,
                          ::testing::Values(consensus::Mode::kP4ce, consensus::Mode::kMu));
+
+// The single-bool guard discipline: with attribution, sampling, and the
+// flight recorder all disabled, a run is byte-identical to one where the
+// observability code was never built in — same event count included. With
+// them enabled, the sampler adds its own tick events (so the executed-event
+// count legitimately grows) but observation never mutates protocol state, so
+// every protocol-visible outcome stays bit-for-bit equal.
+TEST_P(DeterminismTest, ObservabilityHooksDoNotPerturbTheProtocol) {
+  const Outcome baseline = run_fig5_style(GetParam());
+
+  obs::Tracer::global().enable_attribution();
+  obs::LatencyAttribution::global().enable();
+  obs::LatencyAttribution::global().reset();
+  obs::Sampler::global().enable(/*period=*/microseconds(100));
+  obs::FlightRecorder::global().enable();
+  obs::FlightRecorder::global().reset();
+  const Outcome observed = run_fig5_style(GetParam());
+
+  EXPECT_GT(obs::LatencyAttribution::global().rounds(), 0u);
+  EXPECT_GT(obs::Sampler::global().frame_count(), 0u);
+
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear();
+  obs::LatencyAttribution::global().disable();
+  obs::LatencyAttribution::global().reset();
+  obs::Sampler::global().disable();
+  obs::Sampler::global().reset();
+  obs::FlightRecorder::global().disable();
+  obs::FlightRecorder::global().reset();
+  const Outcome disabled = run_fig5_style(GetParam());
+
+  // Observed run: protocol outcome untouched (events excluded — the sampler
+  // schedules its own ticks).
+  EXPECT_EQ(observed.operations, baseline.operations);
+  EXPECT_EQ(observed.failed, baseline.failed);
+  EXPECT_EQ(observed.elapsed, baseline.elapsed);
+  EXPECT_EQ(observed.end_time, baseline.end_time);
+  EXPECT_EQ(observed.leader_tx_bytes, baseline.leader_tx_bytes);
+
+  // Disabled run: byte-identical, events and all.
+  EXPECT_EQ(disabled.operations, baseline.operations);
+  EXPECT_EQ(disabled.failed, baseline.failed);
+  EXPECT_EQ(disabled.elapsed, baseline.elapsed);
+  EXPECT_EQ(disabled.events, baseline.events);
+  EXPECT_EQ(disabled.end_time, baseline.end_time);
+  EXPECT_EQ(disabled.leader_tx_bytes, baseline.leader_tx_bytes);
+}
 
 }  // namespace
 }  // namespace p4ce

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.hpp"
+#include "obs/trace.hpp"
 
 namespace p4ce {
 namespace {
@@ -113,6 +114,32 @@ TEST(MultiGroup, ThreeDomainsOnOneSwitch) {
   }
   cluster->run_for(milliseconds(3));
   EXPECT_EQ(ok, 30);
+}
+
+TEST(MultiGroup, TracedRoundsAreNamespacedByDomain) {
+  // Regression: both leaders' operation counters start at 1, so un-namespaced
+  // trace keys collided across domains and merged unrelated rounds into one
+  // Chrome track (and one wire mapping).
+  auto& tracer = obs::Tracer::global();
+  tracer.enable();
+  tracer.clear();
+
+  auto cluster = make(2);
+  int ok = 0;
+  std::ignore = cluster->leader(0)->propose(Bytes(64, 0xA0),
+                                            [&](Status st, u64) { ok += st.is_ok(); });
+  std::ignore = cluster->leader(1)->propose(Bytes(64, 0xB1),
+                                            [&](Status st, u64) { ok += st.is_ok(); });
+  cluster->run_for(milliseconds(3));
+  EXPECT_EQ(ok, 2);
+
+  const std::string json = tracer.to_chrome_json();
+  // Domain 0 keeps the legacy track name; domain 1 gets its own namespace.
+  EXPECT_NE(json.find("\"instance 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"domain 1 instance 1\""), std::string::npos);
+
+  tracer.disable();
+  tracer.clear();
 }
 
 TEST(MultiGroup, MuDomainsShareTheSwitchAsPlainFabric) {
