@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the regular build + full test suite, a perf smoke of
-# the simulation substrate (event core + scatter path must stay within 20%
-# of the checked-in baseline), then the test suite again under
-# AddressSanitizer + UBSan (separate build tree).
+# the simulation substrate (event core, scatter path, and the parallel lane
+# kernel must stay within 20% of the checked-in baselines; micro_event also
+# carries the core-count-aware scaling gate — see scripts/perf_smoke.py),
+# then the test suite again under AddressSanitizer + UBSan (separate build
+# tree).
 #
 # Usage: scripts/check.sh [--no-sanitize] [--no-perf]
 set -euo pipefail
@@ -23,34 +25,15 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 if [[ "$perf" == 1 ]]; then
-  echo "== perf smoke: micro_packet vs bench/baselines =="
+  echo "== perf smoke: micro_packet + micro_event vs bench/baselines =="
   ./build/bench/micro_packet >/dev/null
-  python3 - <<'EOF'
-import json, sys
-
-current = json.load(open("BENCH_micro_packet.json"))["values"]
-baseline = json.load(open("bench/baselines/micro_packet.json"))["values"]
-TOLERANCE = 0.20  # fail on >20% regression; noise and small wins are fine
-
-failed = False
-for key, ref in baseline.items():
-    got = current.get(key)
-    if got is None:
-        print(f"  MISSING {key}: not in BENCH_micro_packet.json")
-        failed = True
-        continue
-    ratio = got / ref
-    verdict = "ok" if ratio >= 1.0 - TOLERANCE else "REGRESSION"
-    print(f"  {verdict:10s} {key}: {got:,.0f} vs baseline {ref:,.0f} ({ratio:.2f}x)")
-    failed |= verdict != "ok"
-
-sys.exit(1 if failed else 0)
-EOF
+  ./build/bench/micro_event >/dev/null
+  python3 scripts/perf_smoke.py micro_packet micro_event
 
   echo "== bench JSON schema check =="
-  # The perf smoke's BENCH file plus whatever the test run emitted (the
+  # The perf smoke's BENCH files plus whatever the test run emitted (the
   # chaos suite writes FLIGHT_*.json into build/tests).
-  python3 scripts/check_bench_json.py BENCH_micro_packet.json \
+  python3 scripts/check_bench_json.py BENCH_micro_packet.json BENCH_micro_event.json \
     $(ls build/tests/FLIGHT_*.json build/tests/SERIES_*.json 2>/dev/null || true)
 fi
 
@@ -60,9 +43,10 @@ if [[ "$sanitize" == 1 ]]; then
   cmake --build build-asan -j "$jobs" --target \
     common_test obs_test sim_test net_test payload_test rdma_memory_test rdma_qp_test \
     rdma_cm_test switch_test p4ce_dataplane_test p4ce_controlplane_test \
-    consensus_log_test consensus_node_test e2e_test determinism_test
+    consensus_log_test consensus_node_test e2e_test determinism_test \
+    parallel_sim_test parallel_determinism_test
   ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-    -R 'common_test|obs_test|sim_test|net_test|payload_test|rdma_memory_test|rdma_qp_test|rdma_cm_test|switch_test|p4ce_dataplane_test|p4ce_controlplane_test|consensus_log_test|consensus_node_test|e2e_test|determinism_test'
+    -R 'common_test|obs_test|sim_test|net_test|payload_test|rdma_memory_test|rdma_qp_test|rdma_cm_test|switch_test|p4ce_dataplane_test|p4ce_controlplane_test|consensus_log_test|consensus_node_test|e2e_test|determinism_test|parallel_sim_test|parallel_determinism_test'
 fi
 
 echo "== check.sh: all green =="

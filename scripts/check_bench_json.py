@@ -8,7 +8,10 @@ are passed:
   * the file parses as JSON and contains no non-finite numbers (NaN/Inf
     anywhere in the tree poisons downstream plotting silently);
   * BENCH files carry the p4ce-bench-v1 envelope: "schema", "bench",
-    a "values" object and a "tables" array of {title, columns, rows};
+    a "meta" block recording the parallel-kernel configuration (lanes,
+    threads, hw_cores — all positive integers, threads never exceeding
+    lanes and collapsing to 1 on single-lane runs), a "values" object and
+    a "tables" array of {title, columns, rows};
   * latency-named values are non-negative (table *cells* are exempt —
     tab4 legitimately prints "-1.00" for a timed-out scenario);
   * an "attribution" report, when present, has non-negative stage
@@ -57,6 +60,20 @@ def check_bench(path, doc):
         ok = fail(path, f"schema is {doc.get('schema')!r}, want p4ce-bench-v1")
     if not isinstance(doc.get("bench"), str):
         ok = fail(path, "missing \"bench\" name")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        ok = fail(path, "missing \"meta\" block (lanes/threads/hw_cores)")
+    else:
+        for key in ("lanes", "threads", "hw_cores"):
+            v = meta.get(key)
+            if not isinstance(v, int) or v < 1:
+                ok = fail(path, f"meta.{key} = {v!r}, want a positive integer")
+        lanes, threads = meta.get("lanes"), meta.get("threads")
+        if isinstance(lanes, int) and isinstance(threads, int):
+            if threads > max(lanes, 1):
+                ok = fail(path, f"meta.threads = {threads} exceeds meta.lanes = {lanes}")
+            if lanes <= 1 and threads != 1:
+                ok = fail(path, f"meta: single-lane run claims {threads} threads")
     values = doc.get("values")
     if not isinstance(values, dict):
         return fail(path, "missing \"values\" object")

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Perf smoke for scripts/check.sh: compare BENCH_*.json against the
+checked-in baselines and gate the parallel kernel's scaling.
+
+Usage: perf_smoke.py <bench-name>...
+
+For each bench name, loads BENCH_<name>.json from the current directory and
+bench/baselines/<name>.json, then:
+
+  * every key in the baseline's "values" must be present in the run and
+    within TOLERANCE (20%) of the baseline — on failure the offending
+    metric is named together with how far below baseline it landed;
+  * a baseline "scaling" block, when present, gates the parallel kernel:
+    with >= min_cores hardware cores, `metric` must reach `min_abs`
+    events/s OR `min_ratio` times `baseline_metric` (the tentpole target:
+    >= 5 Mev/s at 8 lanes or >= 3x one lane). On smaller machines the
+    speedup is physically unreachable, so only the overhead floor applies:
+    `metric` (8 lanes cooperatively scheduled on too few threads) must stay
+    within `fallback_min_ratio` of the serial path, and the skipped gate is
+    called out explicitly rather than silently passing.
+
+Exits non-zero if any metric regressed or a gate failed.
+"""
+import json
+import sys
+
+TOLERANCE = 0.20  # fail on >20% regression; noise and small wins are fine
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"  BAD {path}: {e}")
+        return None
+
+
+def compare_values(name, current, baseline):
+    ok = True
+    for key, ref in baseline.get("values", {}).items():
+        got = current["values"].get(key)
+        if got is None:
+            print(f"  MISSING    {name}.{key}: not in the bench output")
+            ok = False
+            continue
+        ratio = got / ref
+        if ratio >= 1.0 - TOLERANCE:
+            print(f"  ok         {name}.{key}: {got:,.0f} vs baseline {ref:,.0f} "
+                  f"({ratio:.2f}x)")
+        else:
+            print(f"  REGRESSION {name}.{key}: {got:,.0f} vs baseline {ref:,.0f} "
+                  f"— {(1.0 - ratio) * 100:.1f}% below baseline "
+                  f"(tolerance {TOLERANCE * 100:.0f}%)")
+            ok = False
+    return ok
+
+
+def check_scaling(name, current, gate):
+    metric = gate["metric"]
+    base_metric = gate["baseline_metric"]
+    got = current["values"].get(metric)
+    base = current["values"].get(base_metric)
+    if got is None or base is None or base <= 0:
+        print(f"  MISSING    {name}: scaling gate needs {metric} and {base_metric}")
+        return False
+    hw = int(current.get("meta", {}).get("hw_cores", 1))
+    ratio = got / base
+    if hw >= int(gate["min_cores"]):
+        if got >= gate["min_abs"] or ratio >= gate["min_ratio"]:
+            print(f"  ok         {name}.{metric}: {got:,.0f} ev/s, {ratio:.2f}x "
+                  f"{base_metric} (gate: >= {gate['min_abs']:,.0f} ev/s or "
+                  f">= {gate['min_ratio']}x on {hw} cores)")
+            return True
+        print(f"  SCALING    {name}.{metric}: {got:,.0f} ev/s and {ratio:.2f}x "
+              f"{base_metric} — gate wants >= {gate['min_abs']:,.0f} ev/s or "
+              f">= {gate['min_ratio']}x on >= {gate['min_cores']} cores (have {hw})")
+        return False
+    if got >= gate["min_abs"]:
+        # Too few cores for the speedup gate, but the absolute target is met
+        # outright — the strongest possible pass on this hardware.
+        print(f"  ok         {name}.{metric}: {got:,.0f} ev/s meets the absolute "
+              f"floor (>= {gate['min_abs']:,.0f} ev/s) on {hw} core(s)")
+        return True
+    floor = gate["fallback_min_ratio"]
+    if ratio >= floor:
+        print(f"  ok         {name}.{metric}: {ratio:.2f}x {base_metric} on {hw} "
+              f"core(s) — full scaling gate needs >= {gate['min_cores']} cores, "
+              f"checked overhead floor ({floor}x) instead")
+        return True
+    print(f"  SCALING    {name}.{metric}: {ratio:.2f}x {base_metric} — 8 cooperative "
+          f"lanes on {hw} core(s) fell below the {floor}x overhead floor")
+    return False
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: perf_smoke.py <bench-name>...")
+        return 2
+    all_ok = True
+    for name in argv[1:]:
+        current = load(f"BENCH_{name}.json")
+        baseline = load(f"bench/baselines/{name}.json")
+        if current is None or baseline is None:
+            all_ok = False
+            continue
+        all_ok &= compare_values(name, current, baseline)
+        if "scaling" in baseline:
+            all_ok &= check_scaling(name, current, baseline["scaling"])
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

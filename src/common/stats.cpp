@@ -5,7 +5,8 @@
 namespace p4ce {
 
 double LatencyHistogram::quantile_ns(double q) const noexcept {
-  const u64 total = count();
+  SpinLockGuard g(mu_);
+  const u64 total = stats_.count();
   if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const auto target = static_cast<u64>(q * static_cast<double>(total - 1)) + 1;
@@ -23,6 +24,7 @@ double LatencyHistogram::quantile_ns(double q) const noexcept {
 }
 
 void LatencyHistogram::reset() noexcept {
+  SpinLockGuard g(mu_);
   buckets_.fill(0);
   stats_.reset();
 }

@@ -74,7 +74,7 @@ std::string Packet::describe() const {
 
 SimTime Link::send(int from, Packet packet) {
   const SimTime now = sim_.now();
-  if (cut_ || ends_[1 - from] == nullptr) return now;
+  if (is_cut() || ends_[1 - from] == nullptr) return now;
 
   const Duration ser = serialization_delay(packet.wire_size(), bandwidth_gbps_);
   SimTime& busy = busy_until_[from];
@@ -85,12 +85,20 @@ SimTime Link::send(int from, Packet packet) {
   ++packets_[from];
 
   PacketSink* dst = ends_[1 - from];
-  const u64 epoch = epoch_;
-  sim_.schedule_at(done + propagation_,
-                   [this, dst, epoch, p = std::move(packet)]() mutable {
-                     if (epoch_ != epoch || cut_) return;  // link was severed
-                     dst->deliver(std::move(p));
-                   });
+  const sim::LaneId dst_lane = lanes_[1 - from];
+  const u64 epoch = epoch_.load(std::memory_order_relaxed);
+  auto deliver = [this, dst, epoch, p = std::move(packet)]() mutable {
+    if (epoch_.load(std::memory_order_relaxed) != epoch || is_cut()) return;  // severed
+    dst->deliver(std::move(p));
+  };
+  // Delivery lands done + propagation_ >= now + propagation_ in the future,
+  // and the lane graph's lookahead for this pair is at most propagation_, so
+  // a cross-lane post is always legal.
+  if (dst_lane != sim::Simulator::kNoLane) {
+    sim_.post(dst_lane, done + propagation_, std::move(deliver));
+  } else {
+    sim_.schedule_at(done + propagation_, std::move(deliver));
+  }
   return done;
 }
 

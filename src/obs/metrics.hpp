@@ -6,11 +6,15 @@
 // rebuilds; reset() zeroes every instrument between bench phases without
 // invalidating those references.
 //
-// The simulation is single-threaded, so increments are plain integer adds
-// (no atomics on the hot path); the registry itself takes a mutex only on
-// registration, snapshot and reset so concurrent bench *setup* is safe.
+// Lanes of the parallel simulation kernel share these instruments (a
+// per-domain gauge is written by every node in the domain, and NodeMetrics
+// counters by every node in the process), so increments are relaxed atomics:
+// wait-free on the hot path, and sane-if-racy for samplers reading from
+// another lane. The registry itself takes a mutex only on registration,
+// snapshot and reset.
 #pragma once
 
+#include <atomic>
 #include <initializer_list>
 #include <map>
 #include <memory>
@@ -28,31 +32,40 @@ namespace p4ce::obs {
 /// Monotonic event count (e.g. rdma.qp.retransmits).
 class Counter {
  public:
-  void inc(u64 n = 1) noexcept { value_ += n; }
-  u64 value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0; }
+  void inc(u64 n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  u64 value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  u64 value_ = 0;
+  std::atomic<u64> value_{0};
 };
 
 /// Point-in-time level plus its high-water mark since the last reset
-/// (e.g. switch.port.parser_backlog_ns).
+/// (e.g. switch.port.parser_backlog_ns). set() is atomic per field: the
+/// level is a plain store and the high-water a CAS raise, so concurrent
+/// writers from different lanes never lose the maximum (the *pair* is not
+/// snapshotted atomically; samplers tolerate that).
 class Gauge {
  public:
   void set(double v) noexcept {
-    value_ = v;
-    if (v > high_water_) high_water_ = v;
+    value_.store(v, std::memory_order_relaxed);
+    double hw = high_water_.load(std::memory_order_relaxed);
+    while (v > hw &&
+           !high_water_.compare_exchange_weak(hw, v, std::memory_order_relaxed)) {
+    }
   }
-  void add(double delta) noexcept { set(value_ + delta); }
+  void add(double delta) noexcept { set(value_.load(std::memory_order_relaxed) + delta); }
 
-  double value() const noexcept { return value_; }
-  double high_water() const noexcept { return high_water_; }
-  void reset() noexcept { value_ = 0; high_water_ = 0; }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  double high_water() const noexcept { return high_water_.load(std::memory_order_relaxed); }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    high_water_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0;
-  double high_water_ = 0;
+  std::atomic<double> value_{0};
+  std::atomic<double> high_water_{0};
 };
 
 class MetricsRegistry {

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/time.hpp"
 #include "common/types.hpp"
 
@@ -190,6 +191,10 @@ class Tracer {
   u32 sample_ = 1;
   std::size_t max_events_ = 1u << 20;
   bool overflowed_ = false;
+  // Hooks fire from every simulation lane (leader nodes and the switch data
+  // plane live on different lanes); the spinlock serializes the round and
+  // event bookkeeping. enable()/disable() still belong to quiesced setup.
+  mutable SpinLock mu_;
   std::vector<Event> events_;
   std::vector<Round> active_;  ///< rounds in flight; small (<= send window)
 };
