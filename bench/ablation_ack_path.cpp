@@ -101,6 +101,7 @@ double aggregate_mpps(p4::AckDropStage stage, u32 replicas) {
 
 int main() {
   workload::BenchSession session("ablation_ack_path");
+  session.set_backend("p4ce");
   workload::print_header(
       "Ablation §IV-D: where surplus gathered ACKs are dropped",
       "drop-in-leader-egress caps aggregation at 121 Mpps total; drop-in-replica-ingress "

@@ -86,6 +86,7 @@ void add_row(workload::Table& table, const char* label, const Result& r) {
 
 int main() {
   workload::BenchSession session("ablation_flow_control");
+  session.set_backend("p4ce");
   workload::print_header(
       "Ablation §IV-C: min-credit aggregation vs forwarding the f-th ACK's credits",
       "without aggregation \"the credit count of the slowest replicas would likely be "

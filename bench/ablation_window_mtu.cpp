@@ -42,6 +42,7 @@ workload::RunResult run_with(u32 window, u32 mtu, u32 value_size, u32 batch) {
 
 int main() {
   workload::BenchSession session("ablation_window_mtu");
+  session.set_backend("p4ce");
   workload::print_header(
       "Ablation §IV-C: in-flight window and MTU sizing",
       "16 pending writes saturate the pipe; 256 aggregation slots are ample headroom; "

@@ -31,6 +31,7 @@ workload::BurstResult measure(consensus::Mode mode, u32 machines, u32 burst) {
 
 int main() {
   workload::BenchSession session("fig7_burst_latency");
+  session.set_backend("mixed");
   workload::print_header(
       "Figure 7: burst latency, 64 B requests",
       "Mu CPU-limited beyond ~10 in-flight consensus; P4CE latency ~half of Mu's at "
@@ -39,11 +40,13 @@ int main() {
   for (u32 replicas : {2u, 4u}) {
     workload::Table table(
         "Fig. 7: burst-completion latency (us), " + std::to_string(replicas) + " replicas",
-        {"burst size", "Mu (us)", "P4CE (us)", "Mu/P4CE"});
+        {"burst size", "Mu (us)", "1-sided (us)", "P4CE (us)", "Mu/P4CE"});
     for (u32 burst : {1u, 2u, 5u, 10u, 20u, 50u, 100u}) {
       const auto mu = measure(consensus::Mode::kMu, replicas + 1, burst);
+      const auto os = measure(consensus::Mode::kOneSided, replicas + 1, burst);
       const auto p4 = measure(consensus::Mode::kP4ce, replicas + 1, burst);
       table.add_row({std::to_string(burst), workload::Table::fmt(mu.mean_burst_us, 1),
+                     workload::Table::fmt(os.mean_burst_us, 1),
                      workload::Table::fmt(p4.mean_burst_us, 1),
                      workload::Table::fmt(p4.mean_burst_us > 0
                                               ? mu.mean_burst_us / p4.mean_burst_us

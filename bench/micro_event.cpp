@@ -131,6 +131,7 @@ ShapeResult run_ping(u32 lanes, u32 rings, u32 hops) {
 
 int main() {
   workload::BenchSession session("micro_event");
+  session.set_backend("none");  // event-kernel microbench, no consensus protocol
   workload::print_header(
       "micro_event: parallel event-kernel throughput vs lane count",
       "lane-partitioned conservative kernel; lanes=1 is the legacy serial path");

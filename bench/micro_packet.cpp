@@ -308,6 +308,7 @@ class SessionReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   workload::BenchSession session("micro_packet");
+  session.set_backend("none");  // packet-layer microbench, no consensus protocol
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

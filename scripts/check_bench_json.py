@@ -10,8 +10,10 @@ are passed:
   * BENCH files carry the p4ce-bench-v1 envelope: "schema", "bench",
     a "meta" block recording the parallel-kernel configuration (lanes,
     threads, hw_cores — all positive integers, threads never exceeding
-    lanes and collapsing to 1 on single-lane runs), a "values" object and
-    a "tables" array of {title, columns, rows};
+    lanes and collapsing to 1 on single-lane runs) and the protocol
+    backend ("mu", "p4ce", "one_sided", "mixed" for comparison benches,
+    or "none" for protocol-free microbenches), a "values" object and a
+    "tables" array of {title, columns, rows};
   * latency-named values are non-negative (table *cells* are exempt —
     tab4 legitimately prints "-1.00" for a timed-out scenario);
   * an "attribution" report, when present, has non-negative stage
@@ -74,6 +76,10 @@ def check_bench(path, doc):
                 ok = fail(path, f"meta.threads = {threads} exceeds meta.lanes = {lanes}")
             if lanes <= 1 and threads != 1:
                 ok = fail(path, f"meta: single-lane run claims {threads} threads")
+        backend = meta.get("backend")
+        if backend not in ("mu", "p4ce", "one_sided", "mixed", "none"):
+            ok = fail(path, f"meta.backend = {backend!r}, want one of "
+                            "mu/p4ce/one_sided/mixed/none")
     values = doc.get("values")
     if not isinstance(values, dict):
         return fail(path, "missing \"values\" object")

@@ -37,6 +37,11 @@ struct ReplicaTarget {
   u64 log_vaddr = 0;
   RKey log_rkey = 0;
   u64 log_len = 0;
+  // The replica's atomics region (frontier + ballot + consensus slots), used
+  // only by the one-sided backend (see one_sided.hpp for the layout).
+  u64 atomic_vaddr = 0;
+  RKey atomic_rkey = 0;
+  u64 atomic_len = 0;
   bool excluded = false;
 };
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "consensus/one_sided.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -60,6 +61,11 @@ Node::Node(sim::Simulator& sim, rdma::Nic& nic, rdma::MemoryManager& memory,
   log_mr_ = &memory_.register_region(options_.log_size,
                                      rdma::kAccessRemoteRead | rdma::kAccessRemoteWrite);
   progress_mr_ = &memory_.register_region(Progress::kWireSize, rdma::kAccessRemoteRead);
+  // Always registered (and advertised) so the wire handshake is identical in
+  // every mode; only the one-sided backend ever touches it.
+  atomics_mr_ = &memory_.register_region(
+      one_sided_mr_bytes(),
+      rdma::kAccessRemoteRead | rdma::kAccessRemoteWrite | rdma::kAccessRemoteAtomic);
 
   peers_.reserve(peers.size());
   for (const auto& info : peers) {
@@ -120,7 +126,7 @@ Bytes Node::local_advertisement() const {
   Bytes out;
   ByteWriter w(out);
   w.u32be(options_.id);
-  for (const rdma::MemoryRegion* mr : {hb_mr_, mail_mr_, log_mr_, progress_mr_}) {
+  for (const rdma::MemoryRegion* mr : {hb_mr_, mail_mr_, log_mr_, progress_mr_, atomics_mr_}) {
     w.u64be(mr->vaddr());
     w.u64be(mr->length());
     w.u32be(mr->rkey());
@@ -131,7 +137,7 @@ Bytes Node::local_advertisement() const {
 void Node::parse_peer_advertisement(Peer& peer, BytesView data) {
   ByteReader r(data);
   r.u32be();  // peer id, already known
-  for (RemoteMr* mr : {&peer.hb, &peer.mail, &peer.log, &peer.progress}) {
+  for (RemoteMr* mr : {&peer.hb, &peer.mail, &peer.log, &peer.progress, &peer.atomics}) {
     mr->vaddr = r.u64be();
     mr->length = r.u64be();
     mr->rkey = r.u32be();
@@ -546,6 +552,14 @@ void Node::activate_leadership() {
     auto* comm = static_cast<P4ceCommunicator*>(communicator_.get());
     comm->start_fallback(term_);
     recover_and_activate();
+  } else if (options_.mode == Mode::kOneSided) {
+    // Ballot takeover: fence the old leader out of every replica's atomic
+    // registers and adopt the highest slot frontier, then recover the log.
+    // Even if the takeover cannot fence a quorum right now we proceed —
+    // proposals simply fail kUnavailable until enough replicas return,
+    // matching the P4CE activate semantics above.
+    auto* comm = static_cast<OneSidedCommunicator*>(communicator_.get());
+    comm->takeover(term_, [this](Status) { recover_and_activate(); });
   } else {
     recover_and_activate();
   }
@@ -563,6 +577,9 @@ std::vector<ReplicaTarget> Node::build_targets() {
     target.log_vaddr = peer.log.vaddr;
     target.log_rkey = peer.log.rkey;
     target.log_len = peer.log.length;
+    target.atomic_vaddr = peer.atomics.vaddr;
+    target.atomic_rkey = peer.atomics.rkey;
+    target.atomic_len = peer.atomics.length;
     // Writing to a replica that has not granted us this term would only
     // draw a permission NAK; it joins once its (possibly late) grant lands.
     target.excluded = !heartbeat_->peer_alive(static_cast<u32>(i)) || !peer.connected ||
@@ -589,6 +606,12 @@ std::unique_ptr<Communicator> Node::make_communicator() {
                                                    options_.id, std::move(hooks));
     // Op ids are domain-namespaced trace keys; the sequencer must expect the
     // same namespace or domain > 0 commits would never drain.
+    comm->set_start_seq(obs::trace_key(options_.domain, next_op_));
+    return comm;
+  }
+  if (options_.mode == Mode::kOneSided) {
+    auto comm = std::make_unique<OneSidedCommunicator>(sim_, cpu_, options_.cal, cluster,
+                                                       options_.id, build_targets());
     comm->set_start_seq(obs::trace_key(options_.domain, next_op_));
     return comm;
   }

@@ -26,7 +26,7 @@
 
 namespace p4ce::consensus {
 
-enum class Mode { kMu, kP4ce };
+enum class Mode { kMu, kP4ce, kOneSided };
 
 inline constexpr u32 kMaxNodes = 16;
 
@@ -112,6 +112,9 @@ class Node {
 
   HeartbeatMonitor* heartbeat() noexcept { return heartbeat_.get(); }
   Communicator* communicator() noexcept { return communicator_.get(); }
+  /// The one-sided backend's register region (frontier/ballot/slots); tests
+  /// inspect and perturb it to drive the slow path.
+  rdma::MemoryRegion* atomics_region() noexcept { return atomics_mr_; }
 
  private:
   struct RemoteMr {
@@ -129,7 +132,7 @@ class Node {
     rdma::QueuePair* data_qp = nullptr;
     bool connected = false;
     // Peer's advertised regions (learned during the ctrl handshake).
-    RemoteMr hb, mail, log, progress;
+    RemoteMr hb, mail, log, progress, atomics;
     // Responder-side QPs this peer established toward us.
     rdma::QueuePair* in_ctrl = nullptr;
     rdma::QueuePair* in_data = nullptr;
@@ -194,6 +197,7 @@ class Node {
   rdma::MemoryRegion* mail_mr_ = nullptr;
   rdma::MemoryRegion* log_mr_ = nullptr;
   rdma::MemoryRegion* progress_mr_ = nullptr;
+  rdma::MemoryRegion* atomics_mr_ = nullptr;  ///< one-sided backend registers
 
   std::unique_ptr<HeartbeatMonitor> heartbeat_;
   std::unique_ptr<MailboxReceiver> mailbox_;

@@ -1,6 +1,7 @@
 #include "core/cluster.hpp"
 
 #include <cstdlib>
+#include <cstring>
 
 namespace p4ce::core {
 
@@ -14,6 +15,24 @@ ClusterOptions& apply_parallelism_env(ClusterOptions& options) {
     if (v >= 0 && v <= 1024) options.worker_threads = static_cast<u32>(v);
   }
   return options;
+}
+
+ClusterOptions& apply_backend_env(ClusterOptions& options) {
+  if (const char* backend = std::getenv("P4CE_BACKEND")) {
+    if (std::strcmp(backend, "mu") == 0) options.mode = consensus::Mode::kMu;
+    else if (std::strcmp(backend, "p4ce") == 0) options.mode = consensus::Mode::kP4ce;
+    else if (std::strcmp(backend, "one_sided") == 0) options.mode = consensus::Mode::kOneSided;
+  }
+  return options;
+}
+
+std::string_view backend_name(consensus::Mode mode) noexcept {
+  switch (mode) {
+    case consensus::Mode::kMu: return "mu";
+    case consensus::Mode::kP4ce: return "p4ce";
+    case consensus::Mode::kOneSided: return "one_sided";
+  }
+  return "unknown";
 }
 
 Host::Host(sim::Simulator& sim, std::string name, Ipv4Addr ip,

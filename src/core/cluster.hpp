@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -141,6 +142,15 @@ class Cluster {
 /// parseable) onto `options`, so every bench can be switched to the parallel
 /// kernel without a rebuild. Returns the same options for chaining.
 ClusterOptions& apply_parallelism_env(ClusterOptions& options);
+
+/// Overlay the P4CE_BACKEND environment variable ("mu" | "p4ce" |
+/// "one_sided", unknown values ignored) onto `options.mode`, so every bench
+/// and test can be switched between the three protocol backends without a
+/// rebuild. Returns the same options for chaining.
+ClusterOptions& apply_backend_env(ClusterOptions& options);
+
+/// Canonical backend name for reports and logs ("mu", "p4ce", "one_sided").
+std::string_view backend_name(consensus::Mode mode) noexcept;
 
 /// Addressing plan shared by tests and benches.
 constexpr Ipv4Addr host_ip(u32 i) noexcept { return net::make_ip(0, static_cast<u8>(10 + i)); }

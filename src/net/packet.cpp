@@ -13,6 +13,8 @@ namespace {
 constexpr u8 kHasReth = 0x01;
 constexpr u8 kHasAeth = 0x02;
 constexpr u8 kHasCm = 0x04;
+constexpr u8 kHasAtomicEth = 0x08;
+constexpr u8 kHasAtomicAckEth = 0x10;
 }  // namespace
 
 Bytes Packet::encode() const {
@@ -26,10 +28,14 @@ Bytes Packet::encode() const {
   if (reth) layout |= kHasReth;
   if (aeth) layout |= kHasAeth;
   if (cm) layout |= kHasCm;
+  if (atomic_eth) layout |= kHasAtomicEth;
+  if (atomic_ack_eth) layout |= kHasAtomicAckEth;
   w.u8be(layout);
   bth.encode(w);
   if (reth) reth->encode(w);
   if (aeth) aeth->encode(w);
+  if (atomic_eth) atomic_eth->encode(w);
+  if (atomic_ack_eth) atomic_ack_eth->encode(w);
   if (cm) cm->encode(w);
   w.u32be(static_cast<u32>(payload.size()));
   w.raw(payload.view());
@@ -47,6 +53,11 @@ Packet Packet::decode(BytesView bytes, bool* ok) {
   p.bth = rdma::Bth::decode(r);
   if (layout & kHasReth) p.reth = rdma::Reth::decode(r);
   if (layout & kHasAeth) p.aeth = rdma::Aeth::decode(r);
+  if (layout & kHasAtomicEth) {
+    p.atomic_eth =
+        rdma::AtomicEth::decode(r, p.bth.opcode == rdma::Opcode::kMaskedCompareSwap);
+  }
+  if (layout & kHasAtomicAckEth) p.atomic_ack_eth = rdma::AtomicAckEth::decode(r);
   if (layout & kHasCm) p.cm = rdma::CmMessage::decode(r);
   const u32 payload_len = r.u32be();
   // The single materialization point on the parse path: one counted copy out

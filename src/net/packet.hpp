@@ -30,6 +30,8 @@ struct Packet {
   rdma::Bth bth;
   std::optional<rdma::Reth> reth;
   std::optional<rdma::Aeth> aeth;
+  std::optional<rdma::AtomicEth> atomic_eth;        ///< atomic requests
+  std::optional<rdma::AtomicAckEth> atomic_ack_eth; ///< atomic responses
   std::optional<rdma::CmMessage> cm;
 
   /// Shared immutable payload view: carbon copies and MTU slices reference
@@ -42,6 +44,8 @@ struct Packet {
   bool is_write() const noexcept { return rdma::is_write(bth.opcode); }
   bool is_read_request() const noexcept { return rdma::is_read_request(bth.opcode); }
   bool is_read_response() const noexcept { return rdma::is_read_response(bth.opcode); }
+  bool is_atomic() const noexcept { return rdma::is_atomic(bth.opcode); }
+  bool is_atomic_response() const noexcept { return rdma::is_atomic_response(bth.opcode); }
 
   /// Size of the Ethernet frame on the wire (headers + payload + ICRC + FCS),
   /// excluding preamble and inter-frame gap.
@@ -50,6 +54,8 @@ struct Packet {
             rdma::Bth::kWireSize;
     if (reth) s += rdma::Reth::kWireSize;
     if (aeth) s += rdma::Aeth::kWireSize;
+    if (atomic_eth) s += atomic_eth->wire_size();
+    if (atomic_ack_eth) s += rdma::AtomicAckEth::kWireSize;
     if (cm) s += cm->wire_size();
     s += static_cast<u32>(payload.size());
     s += rdma::kIcrcBytes + kEthernetFcsBytes;

@@ -14,9 +14,11 @@ namespace p4ce::rdma {
 
 enum class WcStatus : u8 {
   kSuccess = 0,
-  kRemoteAccessError,   ///< responder NAK'd with Remote Access Error
-  kRetryExceeded,       ///< transport retries exhausted (peer/switch dead)
-  kFlushed,             ///< QP moved to error state; outstanding work flushed
+  kRemoteAccessError,     ///< responder NAK'd with Remote Access Error
+  kRemoteInvalidRequest,  ///< responder NAK'd with Invalid Request (e.g. a
+                          ///< misaligned atomic target)
+  kRetryExceeded,         ///< transport retries exhausted (peer/switch dead)
+  kFlushed,               ///< QP moved to error state; outstanding work flushed
 };
 
 std::string_view to_string(WcStatus s) noexcept;
@@ -29,6 +31,10 @@ struct Completion {
   u32 byte_len = 0;
   Qpn qpn = 0;       ///< local QP the work request was posted on
   Bytes read_data;   ///< filled for completed RDMA reads
+  /// For completed verbs atomics: the original value of the remote 8-byte
+  /// word, before the operation was applied (CAS succeeded iff this equals
+  /// the compare operand).
+  u64 atomic_original = 0;
 };
 
 class CompletionQueue {
@@ -64,6 +70,7 @@ inline std::string_view to_string(WcStatus s) noexcept {
   switch (s) {
     case WcStatus::kSuccess: return "SUCCESS";
     case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRemoteInvalidRequest: return "REMOTE_INVALID_REQUEST";
     case WcStatus::kRetryExceeded: return "RETRY_EXCEEDED";
     case WcStatus::kFlushed: return "FLUSHED";
   }

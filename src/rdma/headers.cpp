@@ -18,6 +18,10 @@ std::string_view to_string(Opcode op) noexcept {
     case Opcode::kReadResponseLast: return "READ_RESP_LAST";
     case Opcode::kReadResponseOnly: return "READ_RESP_ONLY";
     case Opcode::kAcknowledge: return "ACK";
+    case Opcode::kAtomicAcknowledge: return "ATOMIC_ACK";
+    case Opcode::kCompareSwap: return "CMP_SWAP";
+    case Opcode::kFetchAdd: return "FETCH_ADD";
+    case Opcode::kMaskedCompareSwap: return "MASKED_CMP_SWAP";
   }
   return "UNKNOWN_OPCODE";
 }
@@ -105,6 +109,39 @@ Aeth Aeth::decode(ByteReader& r) {
     h.credits = syndrome & 0x1f;
   }
   h.msn = r.u24be();
+  return h;
+}
+
+void AtomicEth::encode(ByteWriter& w) const {
+  w.u64be(vaddr);
+  w.u32be(rkey);
+  w.u64be(swap_add);
+  w.u64be(compare);
+  if (masked) {
+    w.u64be(swap_mask);
+    w.u64be(compare_mask);
+  }
+}
+
+AtomicEth AtomicEth::decode(ByteReader& r, bool masked) {
+  AtomicEth h;
+  h.vaddr = r.u64be();
+  h.rkey = r.u32be();
+  h.swap_add = r.u64be();
+  h.compare = r.u64be();
+  h.masked = masked;
+  if (masked) {
+    h.swap_mask = r.u64be();
+    h.compare_mask = r.u64be();
+  }
+  return h;
+}
+
+void AtomicAckEth::encode(ByteWriter& w) const { w.u64be(original); }
+
+AtomicAckEth AtomicAckEth::decode(ByteReader& r) {
+  AtomicAckEth h;
+  h.original = r.u64be();
   return h;
 }
 

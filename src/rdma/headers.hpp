@@ -18,6 +18,15 @@
 namespace p4ce::rdma {
 
 /// Reliable-connection opcodes (IBTA values).
+///
+/// The atomic opcodes follow the IBTA RC numbering: a CompareSwap or
+/// FetchAdd request is a single packet carrying the AtomicETH (below), and
+/// the responder answers with a single AtomicAcknowledge packet carrying
+/// both an AETH (credits / MSN, like any ACK) and the AtomicAckETH holding
+/// the original 64-bit value. MaskedCompareSwap is the ConnectX "extended
+/// atomics" masked variant; real HW negotiates it as a vendor extension with
+/// its own opcode space, which we flatten into the next free RC opcode —
+/// a documented modeling liberty, not an IBTA number.
 enum class Opcode : u8 {
   kSendFirst = 0x00,
   kSendMiddle = 0x01,
@@ -33,6 +42,10 @@ enum class Opcode : u8 {
   kReadResponseLast = 0x0f,
   kReadResponseOnly = 0x10,
   kAcknowledge = 0x11,
+  kAtomicAcknowledge = 0x12,
+  kCompareSwap = 0x13,
+  kFetchAdd = 0x14,
+  kMaskedCompareSwap = 0x15,  ///< ConnectX extended atomic (modeling liberty)
 };
 
 std::string_view to_string(Opcode op) noexcept;
@@ -45,7 +58,17 @@ constexpr bool is_read_request(Opcode op) noexcept { return op == Opcode::kReadR
 constexpr bool is_read_response(Opcode op) noexcept {
   return op >= Opcode::kReadResponseFirst && op <= Opcode::kReadResponseOnly;
 }
-constexpr bool is_request(Opcode op) noexcept { return is_write(op) || is_read_request(op); }
+/// True for the single-packet verbs atomic requests (CAS / FAA / masked CAS).
+constexpr bool is_atomic(Opcode op) noexcept {
+  return op == Opcode::kCompareSwap || op == Opcode::kFetchAdd ||
+         op == Opcode::kMaskedCompareSwap;
+}
+constexpr bool is_atomic_response(Opcode op) noexcept {
+  return op == Opcode::kAtomicAcknowledge;
+}
+constexpr bool is_request(Opcode op) noexcept {
+  return is_write(op) || is_read_request(op) || is_atomic(op);
+}
 /// True for the packet of a message that carries the RETH header.
 constexpr bool carries_reth(Opcode op) noexcept {
   return op == Opcode::kWriteFirst || op == Opcode::kWriteOnly || op == Opcode::kReadRequest;
@@ -111,6 +134,52 @@ struct Aeth {
   void encode(ByteWriter& w) const;
   static Aeth decode(ByteReader& r);
   bool operator==(const Aeth&) const = default;
+};
+
+/// Atomic extended transport header, carried by CompareSwap / FetchAdd /
+/// MaskedCompareSwap request packets (one packet per atomic; atomics never
+/// segment). Wire layout, network byte order:
+///
+///   vaddr      u64   remote address of the 8-byte target word
+///   rkey       u32   authentication key for the target region
+///   swap_add   u64   CAS: value swapped in on compare match
+///                    FAA: value added to the target word
+///   compare    u64   CAS: expected original value (ignored by FAA)
+///   [swap_mask    u64]  masked CAS only: which bits of swap_add are written
+///   [compare_mask u64]  masked CAS only: which bits of compare are checked
+///
+/// 28 bytes for CAS/FAA (the IBTA AtomicETH size); the masked variant
+/// appends the two masks for 44 bytes, mirroring the ConnectX extended-
+/// atomics layout. Whether the masks are present is implied by the BTH
+/// opcode, exactly as a real parser keys the header chain off the opcode.
+struct AtomicEth {
+  u64 vaddr = 0;
+  RKey rkey = 0;
+  u64 swap_add = 0;
+  u64 compare = 0;
+  bool masked = false;     ///< true iff the masks travel on the wire
+  u64 swap_mask = ~0ull;
+  u64 compare_mask = ~0ull;
+
+  static constexpr u32 kWireSize = 28;        ///< CAS / FAA
+  static constexpr u32 kMaskedWireSize = 44;  ///< masked CAS
+  u32 wire_size() const noexcept { return masked ? kMaskedWireSize : kWireSize; }
+  void encode(ByteWriter& w) const;
+  /// `masked` comes from the BTH opcode the caller already decoded.
+  static AtomicEth decode(ByteReader& r, bool masked);
+  bool operator==(const AtomicEth&) const = default;
+};
+
+/// Atomic ACK extended transport header, carried by AtomicAcknowledge
+/// packets right after the AETH: the 8-byte original value of the target
+/// word, read before the atomic was applied (IBTA AtomicAckETH).
+struct AtomicAckEth {
+  u64 original = 0;
+
+  static constexpr u32 kWireSize = 8;
+  void encode(ByteWriter& w) const;
+  static AtomicAckEth decode(ByteReader& r);
+  bool operator==(const AtomicAckEth&) const = default;
 };
 
 /// Connection-manager message types (MADs on QP1 in real InfiniBand; we model

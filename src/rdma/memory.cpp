@@ -29,6 +29,42 @@ StatusOr<Bytes> MemoryRegion::remote_read(u64 vaddr, u64 len) const {
                data_.begin() + static_cast<std::ptrdiff_t>(offset + len));
 }
 
+StatusOr<u64> MemoryRegion::remote_atomic(AtomicOp op, u64 vaddr, const AtomicArgs& args) {
+  if (!(access_ & kAccessRemoteAtomic)) {
+    return error(StatusCode::kPermissionDenied, "region does not permit remote atomics");
+  }
+  if (vaddr % 8 != 0) {
+    return error(StatusCode::kInvalidArgument, "atomic target not 8-byte aligned");
+  }
+  if (!contains(vaddr, 8)) {
+    return error(StatusCode::kPermissionDenied, "atomic outside registered region");
+  }
+  const u64 offset = vaddr - vaddr_;
+  u64 original;
+  std::memcpy(&original, data_.data() + offset, 8);
+  u64 updated = original;
+  bool store = false;
+  switch (op) {
+    case AtomicOp::kCompareSwap:
+      store = original == args.compare;
+      if (store) updated = args.swap_add;
+      break;
+    case AtomicOp::kFetchAdd:
+      store = true;
+      updated = original + args.swap_add;
+      break;
+    case AtomicOp::kMaskedCompareSwap:
+      store = (original & args.compare_mask) == (args.compare & args.compare_mask);
+      if (store) updated = (original & ~args.swap_mask) | (args.swap_add & args.swap_mask);
+      break;
+  }
+  if (store && updated != original) {
+    std::memcpy(data_.data() + offset, &updated, 8);
+    if (write_hook_) write_hook_(offset, 8);
+  }
+  return original;
+}
+
 MemoryRegion& MemoryManager::register_region(u64 length, u32 access) {
   // R_keys are random and unique within the host, like a real RNIC.
   RKey rkey;
@@ -72,6 +108,13 @@ StatusOr<Bytes> MemoryManager::remote_read(RKey rkey, u64 vaddr, u64 len) const 
   const MemoryRegion* region = find(rkey);
   if (region == nullptr) return error(StatusCode::kPermissionDenied, "invalid R_key");
   return region->remote_read(vaddr, len);
+}
+
+StatusOr<u64> MemoryManager::remote_atomic(AtomicOp op, RKey rkey, u64 vaddr,
+                                           const AtomicArgs& args) {
+  MemoryRegion* region = find(rkey);
+  if (region == nullptr) return error(StatusCode::kPermissionDenied, "invalid R_key");
+  return region->remote_atomic(op, vaddr, args);
 }
 
 }  // namespace p4ce::rdma

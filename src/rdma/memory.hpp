@@ -22,6 +22,19 @@ enum Access : u32 {
   kAccessLocalWrite = 1u << 0,
   kAccessRemoteRead = 1u << 1,
   kAccessRemoteWrite = 1u << 2,
+  kAccessRemoteAtomic = 1u << 3,
+};
+
+/// The verbs atomic operations a responder NIC can execute (8-byte words).
+enum class AtomicOp : u8 { kCompareSwap, kFetchAdd, kMaskedCompareSwap };
+
+/// Operands of one atomic execution. `compare`/masks are ignored by FAA;
+/// the masks are all-ones for plain CAS.
+struct AtomicArgs {
+  u64 compare = 0;
+  u64 swap_add = 0;
+  u64 compare_mask = ~0ull;
+  u64 swap_mask = ~0ull;
 };
 
 /// A registered memory region. Owns its backing bytes. Remote (one-sided)
@@ -54,6 +67,15 @@ class MemoryRegion {
 
   /// Read via DMA as the NIC would on an inbound RDMA read request.
   StatusOr<Bytes> remote_read(u64 vaddr, u64 len) const;
+
+  /// Execute a verbs atomic on the 8-byte word at `vaddr` and return the
+  /// original value. Checks kAccessRemoteAtomic, bounds, and the IBTA
+  /// 8-byte alignment requirement (kInvalidArgument on a misaligned
+  /// target, which the QP NAKs as Invalid Request). The read-modify-write
+  /// is indivisible by construction: the simulated NIC executes inbound
+  /// packets one at a time, which is exactly the responder-side
+  /// serialization real RNICs provide for atomics.
+  StatusOr<u64> remote_atomic(AtomicOp op, u64 vaddr, const AtomicArgs& args);
 
   /// Hook invoked after each successful remote write with (offset, length)
   /// relative to the region base. This is how the simulation models a CPU
@@ -94,6 +116,8 @@ class MemoryManager {
   Status remote_write(RKey rkey, u64 vaddr, BytesView data);
   /// Full inbound-read path.
   StatusOr<Bytes> remote_read(RKey rkey, u64 vaddr, u64 len) const;
+  /// Full inbound-atomic path: R_key validation, then the region's checks.
+  StatusOr<u64> remote_atomic(AtomicOp op, RKey rkey, u64 vaddr, const AtomicArgs& args);
 
   std::size_t region_count() const noexcept { return regions_.size(); }
 

@@ -93,6 +93,7 @@ void QueuePair::reset() {
   inflight_.clear();
   send_queue_.clear();
   inbound_write_.reset();
+  atomic_replay_.clear();
   retry_count_ = 0;
   msn_ = 0;
   state_ = QpState::kReset;
@@ -149,6 +150,48 @@ Status QueuePair::post_read(u64 wr_id, u64 remote_vaddr, RKey rkey, u32 len) {
   return Status::ok();
 }
 
+Status QueuePair::post_atomic(u64 wr_id, Opcode kind, u64 remote_vaddr, RKey rkey,
+                              const AtomicArgs& args, bool signaled) {
+  if (state_ != QpState::kRts) {
+    return error(StatusCode::kFailedPrecondition, "QP not in RTS state");
+  }
+  if (send_queue_.size() + inflight_.size() >= config_.max_queued_wr) {
+    return error(StatusCode::kResourceExhausted, "send queue full");
+  }
+  Wqe wqe;
+  wqe.wr_id = wr_id;
+  wqe.kind = kind;
+  wqe.length = 8;
+  wqe.remote_vaddr = remote_vaddr;
+  wqe.rkey = rkey;
+  wqe.signaled = signaled;
+  wqe.atomic = args;
+  send_queue_.push_back(std::move(wqe));
+  pump_send_queue();
+  return Status::ok();
+}
+
+Status QueuePair::post_cas(u64 wr_id, u64 remote_vaddr, RKey rkey, u64 compare, u64 swap,
+                           bool signaled) {
+  return post_atomic(wr_id, Opcode::kCompareSwap, remote_vaddr, rkey,
+                     AtomicArgs{.compare = compare, .swap_add = swap}, signaled);
+}
+
+Status QueuePair::post_faa(u64 wr_id, u64 remote_vaddr, RKey rkey, u64 add, bool signaled) {
+  return post_atomic(wr_id, Opcode::kFetchAdd, remote_vaddr, rkey, AtomicArgs{.swap_add = add},
+                     signaled);
+}
+
+Status QueuePair::post_masked_cas(u64 wr_id, u64 remote_vaddr, RKey rkey, u64 compare, u64 swap,
+                                  u64 compare_mask, u64 swap_mask, bool signaled) {
+  return post_atomic(wr_id, Opcode::kMaskedCompareSwap, remote_vaddr, rkey,
+                     AtomicArgs{.compare = compare,
+                                .swap_add = swap,
+                                .compare_mask = compare_mask,
+                                .swap_mask = swap_mask},
+                     signaled);
+}
+
 void QueuePair::pump_send_queue() {
   // The in-flight window respects both the local cap and the credits the
   // responder last advertised; at least one message may always probe so a
@@ -173,6 +216,29 @@ void QueuePair::pump_send_queue() {
 
 void QueuePair::transmit_wqe(const Wqe& wqe) {
   const u32 npkts = packets_for(wqe);
+
+  if (is_atomic(wqe.kind)) {
+    // Atomics are always a single packet carrying the AtomicETH.
+    net::Packet p;
+    p.eth.src_mac = nic_.mac();
+    p.eth.dst_mac = 0;
+    p.ip.src = nic_.ip();
+    p.ip.dst = remote_ip_;
+    p.udp.src_port = static_cast<u16>(0xc000 | (qpn_ & 0x3fff));
+    p.bth.opcode = wqe.kind;
+    p.bth.dest_qp = remote_qpn_;
+    p.bth.psn = wqe.first_psn;
+    p.bth.ack_request = true;
+    p.atomic_eth = AtomicEth{.vaddr = wqe.remote_vaddr,
+                             .rkey = wqe.rkey,
+                             .swap_add = wqe.atomic.swap_add,
+                             .compare = wqe.atomic.compare,
+                             .masked = wqe.kind == Opcode::kMaskedCompareSwap,
+                             .swap_mask = wqe.atomic.swap_mask,
+                             .compare_mask = wqe.atomic.compare_mask};
+    nic_.send_packet(std::move(p));
+    return;
+  }
 
   if (wqe.kind == Opcode::kReadRequest) {
     net::Packet p;
@@ -226,6 +292,8 @@ void QueuePair::handle_packet(net::Packet packet) {
   if (state_ == QpState::kError) return;
   if (packet.is_ack()) {
     handle_ack(packet);
+  } else if (packet.is_atomic_response()) {
+    handle_atomic_response(packet);
   } else if (packet.is_read_response()) {
     handle_read_response(packet);
   } else if (rdma::is_request(packet.bth.opcode)) {
@@ -254,9 +322,12 @@ void QueuePair::handle_ack(const net::Packet& packet) {
       // Fatal NAK (access error etc.): the offending (oldest) WQE completes
       // with an error and the QP enters the error state; this is what makes
       // a P4CE leader notice a misbehaving/revoked connection (§III).
-      WcStatus status = aeth.nak_code == NakCode::kRemoteAccessError
-                            ? WcStatus::kRemoteAccessError
-                            : WcStatus::kFlushed;
+      WcStatus status = WcStatus::kFlushed;
+      if (aeth.nak_code == NakCode::kRemoteAccessError) {
+        status = WcStatus::kRemoteAccessError;
+      } else if (aeth.nak_code == NakCode::kInvalidRequest) {
+        status = WcStatus::kRemoteInvalidRequest;
+      }
       if (!inflight_.empty()) {
         complete(inflight_.front(), status);
         inflight_.pop_front();
@@ -274,7 +345,9 @@ void QueuePair::handle_ack(const net::Packet& packet) {
   bool progressed = false;
   while (!inflight_.empty()) {
     Wqe& head = inflight_.front();
-    if (head.kind == Opcode::kReadRequest) break;  // reads complete via responses
+    // Reads and atomics complete via their response packets, never via a
+    // plain cumulative ACK.
+    if (head.kind == Opcode::kReadRequest || is_atomic(head.kind)) break;
     if (psn_distance(head.last_psn, packet.bth.psn) < 0) break;  // not yet covered
     complete(head, WcStatus::kSuccess);
     inflight_.pop_front();
@@ -320,6 +393,47 @@ void QueuePair::handle_read_response(const net::Packet& packet) {
   }
 }
 
+void QueuePair::handle_atomic_response(const net::Packet& packet) {
+  if (!packet.atomic_ack_eth) return;
+  if (packet.aeth) {
+    credits_seen_ = packet.aeth->credits;
+    QpMetrics::get().ack_credits.set(packet.aeth->credits);
+  }
+
+  // Like any ACK, the atomic response is cumulative: it acknowledges every
+  // packet before its PSN, so preceding (possibly unsignaled) writes
+  // complete first. This is what lets a caller pair an unsignaled write
+  // with a signaled atomic on one QP and treat the atomic's completion as
+  // proof the write landed.
+  bool progressed = false;
+  while (!inflight_.empty()) {
+    Wqe& head = inflight_.front();
+    if (head.kind == Opcode::kReadRequest || is_atomic(head.kind)) break;
+    if (psn_distance(head.last_psn, packet.bth.psn) <= 0) break;  // not strictly before
+    complete(head, WcStatus::kSuccess);
+    inflight_.pop_front();
+    QpMetrics::get().inflight.add(-1);
+    progressed = true;
+  }
+
+  if (!inflight_.empty() && is_atomic(inflight_.front().kind) &&
+      inflight_.front().first_psn == packet.bth.psn) {
+    Wqe& wqe = inflight_.front();
+    wqe.atomic_original = packet.atomic_ack_eth->original;
+    complete(wqe, WcStatus::kSuccess);
+    inflight_.pop_front();
+    QpMetrics::get().inflight.add(-1);
+    progressed = true;
+  }
+  // Else: a duplicate/stale response (the original already completed); the
+  // state above was still refreshed, nothing more to do.
+
+  if (progressed) retry_count_ = 0;
+  retransmit_timer_.cancel();
+  if (!inflight_.empty()) arm_timer();
+  pump_send_queue();
+}
+
 void QueuePair::complete(const Wqe& wqe, WcStatus status, Bytes read_data) {
   if (!wqe.signaled && status == WcStatus::kSuccess) return;
   Completion c;
@@ -329,6 +443,7 @@ void QueuePair::complete(const Wqe& wqe, WcStatus status, Bytes read_data) {
   c.byte_len = wqe.length;
   c.qpn = qpn_;
   c.read_data = std::move(read_data);
+  c.atomic_original = wqe.atomic_original;
   cq_.push(std::move(c));
 }
 
@@ -389,13 +504,36 @@ void QueuePair::send_nak(Psn psn, NakCode code) {
   nic_.send_packet(std::move(p));
 }
 
+void QueuePair::send_atomic_ack(Psn psn, u64 original) {
+  net::Packet p = make_response_shell(Opcode::kAtomicAcknowledge, psn);
+  p.aeth = Aeth{.is_nak = false,
+                .nak_code = NakCode::kPsnSequenceError,
+                .credits = nic_.current_credits(),
+                .msn = msn_ & kPsnMask};
+  p.atomic_ack_eth = AtomicAckEth{original};
+  nic_.send_packet(std::move(p));
+}
+
 void QueuePair::handle_request(const net::Packet& packet) {
   const i32 gap = psn_distance(expected_psn_, packet.bth.psn);
   if (gap < 0) {
     // Duplicate (retransmission we already executed). Writes are idempotent
     // here because the requester retransmits identical data at identical
     // addresses; just refresh the ACK so the requester can make progress.
+    // Atomics are NOT idempotent: replay the saved response instead of
+    // re-executing (real RNICs keep the same duplicate-response cache).
     QpMetrics::get().duplicates_rx.inc();
+    if (is_atomic(packet.bth.opcode)) {
+      for (const auto& [psn, original] : atomic_replay_) {
+        if (psn == packet.bth.psn) {
+          send_atomic_ack(psn, original);
+          return;
+        }
+      }
+      // Response fell out of the cache; a plain ACK cannot complete the
+      // atomic on the requester, so let its timer drive recovery.
+      return;
+    }
     if (is_last_or_only(packet.bth.opcode) && packet.bth.ack_request) {
       send_ack(packet.bth.psn);
     }
@@ -500,6 +638,45 @@ void QueuePair::handle_request(const net::Packet& packet) {
       }
       // A read of n response packets consumes n PSNs on the request stream.
       expected_psn_ = psn_add(expected_psn_, npkts);
+      return;
+    }
+    case Opcode::kCompareSwap:
+    case Opcode::kFetchAdd:
+    case Opcode::kMaskedCompareSwap: {
+      if (!packet.atomic_eth) {
+        send_nak(packet.bth.psn, NakCode::kInvalidRequest);
+        return;
+      }
+      if (!allow_remote_write_) {
+        // Atomics mutate memory, so they are fenced by the same
+        // single-writer permission switch as RDMA writes.
+        send_nak(packet.bth.psn, NakCode::kRemoteAccessError);
+        return;
+      }
+      const AtomicEth& eth = *packet.atomic_eth;
+      AtomicOp op = AtomicOp::kCompareSwap;
+      if (packet.bth.opcode == Opcode::kFetchAdd) op = AtomicOp::kFetchAdd;
+      if (packet.bth.opcode == Opcode::kMaskedCompareSwap) op = AtomicOp::kMaskedCompareSwap;
+      auto original = nic_.memory().remote_atomic(
+          op, eth.rkey, eth.vaddr,
+          AtomicArgs{.compare = eth.compare,
+                     .swap_add = eth.swap_add,
+                     .compare_mask = eth.compare_mask,
+                     .swap_mask = eth.swap_mask});
+      if (!original.is_ok()) {
+        send_nak(packet.bth.psn,
+                 original.status().code() == StatusCode::kInvalidArgument
+                     ? NakCode::kInvalidRequest
+                     : NakCode::kRemoteAccessError);
+        return;
+      }
+      expected_psn_ = psn_add(expected_psn_, 1);
+      ++msn_;
+      ++messages_received_;
+      QpMetrics::get().msgs_received.inc();
+      atomic_replay_.emplace_back(packet.bth.psn, original.value());
+      if (atomic_replay_.size() > kAtomicReplayDepth) atomic_replay_.pop_front();
+      send_atomic_ack(packet.bth.psn, original.value());
       return;
     }
     default:

@@ -14,6 +14,7 @@
 #include "net/packet.hpp"
 #include "rdma/completion.hpp"
 #include "rdma/headers.hpp"
+#include "rdma/memory.hpp"
 #include "sim/simulator.hpp"
 
 namespace p4ce::rdma {
@@ -87,6 +88,21 @@ class QueuePair {
   /// Post an RDMA read of `len` bytes from remote [vaddr, vaddr+len).
   Status post_read(u64 wr_id, u64 remote_vaddr, RKey rkey, u32 len);
 
+  /// Post a compare-and-swap on the remote 8-byte word at `remote_vaddr`:
+  /// swaps in `swap` iff the word equals `compare`. The completion carries
+  /// the original value either way (`atomic_original`).
+  Status post_cas(u64 wr_id, u64 remote_vaddr, RKey rkey, u64 compare, u64 swap,
+                  bool signaled = true);
+
+  /// Post a fetch-and-add of `add` on the remote 8-byte word.
+  Status post_faa(u64 wr_id, u64 remote_vaddr, RKey rkey, u64 add, bool signaled = true);
+
+  /// Post a masked compare-and-swap (ConnectX extended atomic): compares
+  /// only the bits selected by `compare_mask`, and on match writes only the
+  /// bits selected by `swap_mask`.
+  Status post_masked_cas(u64 wr_id, u64 remote_vaddr, RKey rkey, u64 compare, u64 swap,
+                         u64 compare_mask, u64 swap_mask, bool signaled = true);
+
   u32 inflight_messages() const noexcept { return static_cast<u32>(inflight_.size()); }
   u32 queued_messages() const noexcept { return static_cast<u32>(send_queue_.size()); }
 
@@ -135,7 +151,8 @@ class QueuePair {
  private:
   struct Wqe {
     u64 wr_id = 0;
-    Opcode kind = Opcode::kWriteOnly;  // kWriteOnly (any write) or kReadRequest
+    // kWriteOnly (any write), kReadRequest, or an atomic opcode.
+    Opcode kind = Opcode::kWriteOnly;
     net::PayloadRef payload;  // writes: whole-message immutable buffer, sliced per packet
     Bytes assembly;           // reads: mutable buffer response packets land in
     u64 remote_vaddr = 0;
@@ -144,14 +161,19 @@ class QueuePair {
     bool signaled = true;
     Psn first_psn = 0;
     Psn last_psn = 0;
+    AtomicArgs atomic;        // atomics: operands
+    u64 atomic_original = 0;  // atomics: original value from the response
   };
 
   // Requester internals.
   void pump_send_queue();
   void transmit_wqe(const Wqe& wqe);
   u32 packets_for(const Wqe& wqe) const noexcept;
+  Status post_atomic(u64 wr_id, Opcode kind, u64 remote_vaddr, RKey rkey,
+                     const AtomicArgs& args, bool signaled);
   void handle_ack(const net::Packet& packet);
   void handle_read_response(const net::Packet& packet);
+  void handle_atomic_response(const net::Packet& packet);
   void complete(const Wqe& wqe, WcStatus status, Bytes read_data = {});
   void fatal(WcStatus status);
   void arm_timer();
@@ -161,6 +183,7 @@ class QueuePair {
   void handle_request(const net::Packet& packet);
   void send_ack(Psn psn);
   void send_nak(Psn psn, NakCode code);
+  void send_atomic_ack(Psn psn, u64 original);
   net::Packet make_response_shell(Opcode op, Psn psn) const;
 
   sim::Simulator& sim_;
@@ -195,6 +218,13 @@ class QueuePair {
     u32 remaining = 0;
   };
   std::optional<InboundWrite> inbound_write_;
+  /// Saved responses for executed atomics, keyed by request PSN. A
+  /// retransmitted atomic must never re-execute (it is not idempotent); the
+  /// responder replays the saved original instead, mirroring the
+  /// duplicate-request response cache real RNICs keep. Depth exceeds the
+  /// largest send window, so any go-back-N replay finds its entry.
+  static constexpr std::size_t kAtomicReplayDepth = 32;
+  std::deque<std::pair<Psn, u64>> atomic_replay_;
 
   std::function<void(WcStatus)> error_cb_;
   std::function<void(NakCode, Psn)> nak_cb_;

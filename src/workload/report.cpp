@@ -141,6 +141,10 @@ BenchSession::BenchSession(std::string name) : name_(std::move(name)) {
     const long v = std::strtol(threads, nullptr, 10);
     if (v >= 0 && v <= 1024) meta_threads_ = static_cast<u32>(v);
   }
+  if (const char* backend = std::getenv("P4CE_BACKEND")) {
+    const std::string b(backend);
+    if (b == "mu" || b == "p4ce" || b == "one_sided") meta_backend_ = b;
+  }
 }
 
 BenchSession::~BenchSession() { finish(); }
@@ -197,6 +201,8 @@ void BenchSession::finish() {
   append_number_json(out, threads);
   out += ", \"hw_cores\": ";
   append_number_json(out, hw);
+  out += ", \"backend\": ";
+  obs::append_json_escaped(out, meta_backend_);
   out += "},\n  \"values\": {";
   for (std::size_t i = 0; i < values_.size(); ++i) {
     out += i == 0 ? "\n    " : ",\n    ";

@@ -76,6 +76,10 @@ class BenchSession {
     meta_lanes_ = lanes;
     meta_threads_ = threads;
   }
+  /// Record the protocol backend for the meta block: "mu", "p4ce",
+  /// "one_sided", or "mixed" for benches that compare several in one run.
+  /// The constructor seeds it from P4CE_BACKEND when set.
+  void set_backend(std::string backend) { meta_backend_ = std::move(backend); }
   /// Record a result table (call right before or after table.print()).
   void add_table(const Table& table);
 
@@ -101,6 +105,7 @@ class BenchSession {
   std::string trace_path_;
   u32 meta_lanes_ = 1;
   u32 meta_threads_ = 0;  ///< 0 = auto (one per core, capped by lanes)
+  std::string meta_backend_ = "none";
   bool json_enabled_ = true;
   bool tracing_ = false;
   bool attribution_ = false;
